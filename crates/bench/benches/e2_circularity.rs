@@ -1,0 +1,72 @@
+//! E2 — the circularity of Guarino's construction: prints the
+//! dependency cycle and the repaired order, then times cycle
+//! detection on growing synthetic dependency graphs (the analysis
+//! itself must stay cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use summa_core::substrates::intensional::circularity::{DependencyGraph, Notion};
+
+fn print_record() {
+    summa_bench::banner("E2", "the circularity argument, §2");
+    let g = DependencyGraph::guarino();
+    print!("{}", g.render());
+    match g.analyze().cycle {
+        Some(cycle) => {
+            let names: Vec<&str> = cycle.iter().map(|n| n.name()).collect();
+            println!("  cycle: {}", names.join(" → "));
+        }
+        None => println!("  no cycle (unexpected)"),
+    }
+    let repaired = DependencyGraph::guarino_with_primitive_worlds();
+    match repaired.analyze().topological_order {
+        Some(order) => {
+            let names: Vec<&str> = order.iter().map(|n| n.name()).collect();
+            println!("  repaired (primitive worlds): {}", names.join(" → "));
+        }
+        None => println!("  repaired graph unexpectedly cyclic"),
+    }
+}
+
+/// A synthetic dependency graph: a long chain with a closing edge
+/// (cyclic) built from alternating notion labels.
+fn synthetic(n_edges: usize, cyclic: bool) -> DependencyGraph {
+    let notions = [
+        Notion::IntensionalRelation,
+        Notion::WorldStructure,
+        Notion::ExtensionalRelation,
+        Notion::PrimitiveState,
+    ];
+    let mut g = DependencyGraph::new();
+    for i in 0..n_edges {
+        g.depends(notions[i % 3], notions[(i + 1) % 3], "chain");
+    }
+    if !cyclic {
+        // Redirect everything toward primitive state: acyclic.
+        let mut g2 = DependencyGraph::new();
+        for &notion in notions.iter().take(3.min(n_edges)) {
+            g2.depends(notion, Notion::PrimitiveState, "grounded");
+        }
+        return g2;
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    print_record();
+    let mut group = c.benchmark_group("e2_circularity");
+    for &n in &[3usize, 30, 300] {
+        let cyclic = synthetic(n, true);
+        group.bench_with_input(BenchmarkId::new("detect_cycle", n), &n, |bencher, _| {
+            bencher.iter(|| black_box(&cyclic).analyze())
+        });
+    }
+    let acyclic = synthetic(3, false);
+    group.bench_function("topological_order", |bencher| {
+        bencher.iter(|| black_box(&acyclic).analyze())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

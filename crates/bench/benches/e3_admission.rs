@@ -1,0 +1,54 @@
+//! E3 — the admission matrix (§2's over-breadth results): prints the
+//! full artifact × definition table, then times single-definition
+//! judgments and the whole-matrix computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use summa_core::prelude::*;
+
+fn print_record() {
+    summa_bench::banner(
+        "E3",
+        "\"a C program … a grocery list … a tax return form would qualify\", §2",
+    );
+    let m = syntactic_critique();
+    println!("{}", m.render());
+    for d in &m.definitions {
+        println!(
+            "  {:<26} admits {:>2} of {}",
+            d,
+            m.admission_count(d),
+            m.artifacts.len()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_record();
+    let corpus = standard_corpus();
+    let grocery = corpus
+        .iter()
+        .find(|a| a.name() == "grocery list")
+        .expect("corpus entry");
+
+    let mut group = c.benchmark_group("e3_admission");
+    group.bench_function("full_matrix", |b| {
+        b.iter(|| black_box(syntactic_critique()))
+    });
+    let guarino = GuarinoDefinition::approximate();
+    group.bench_function("guarino_judges_grocery_list", |b| {
+        b.iter(|| guarino.admits(black_box(grocery), None))
+    });
+    let bcm = BcmDefinition;
+    let vehicles = corpus
+        .iter()
+        .find(|a| a.name() == "vehicles BCM ontonomy")
+        .expect("corpus entry");
+    group.bench_function("bcm_judges_vehicles", |b| {
+        b.iter(|| bcm.admits(black_box(vehicles), None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

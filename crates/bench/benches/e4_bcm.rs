@@ -1,0 +1,73 @@
+//! E4 — Definition 1 (Bench-Capon & Malcolm): prints the vehicles
+//! ontology signature and its model-check verdicts, then times
+//! signature validation and instance-model checking as the hierarchy
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use summa_core::substrates::ontonomy::corpus::vehicles_signature;
+use summa_core::substrates::ontonomy::prelude::*;
+use summa_core::substrates::osa::algebra::AlgebraBuilder;
+use summa_core::substrates::osa::signature::SignatureBuilder as OsaSignatureBuilder;
+use summa_core::substrates::osa::theory::{DataDomain, Theory};
+
+fn print_record() {
+    summa_bench::banner("E4", "Definition 1, §2");
+    let v = vehicles_signature().expect("well-formed");
+    print!("{}", v.ontonomy.signature.render());
+    println!(
+        "  sample model is a model: {}",
+        v.ontonomy.is_model(&v.sample_model()).is_ok()
+    );
+    println!(
+        "  broken model rejected:   {}",
+        v.ontonomy.is_model(&v.broken_model()).is_err()
+    );
+}
+
+/// A synthetic ontology signature: a class chain of length `n` with
+/// one attribute at the top (inherited everywhere by closure).
+fn chain_signature(n: usize) -> OntologySignature {
+    let mut ob = OsaSignatureBuilder::new();
+    let s = ob.sort("V");
+    let val = ob.op("v", &[], s);
+    let osig = ob.finish().expect("ok");
+    let theory = Theory::new(osig.clone());
+    let mut ab = AlgebraBuilder::new(osig);
+    let e = ab.elem("v", s);
+    ab.interpret(val, &[], e);
+    let dd = DataDomain::new(theory, ab.finish().expect("total")).expect("model");
+    let mut b = SignatureBuilder::new(dd);
+    let mut prev = b.class("C0");
+    b.attribute(prev, "a", AttrTarget::Sort(s));
+    for i in 1..n {
+        let c = b.class(&format!("C{i}"));
+        b.subclass(c, prev);
+        prev = c;
+    }
+    b.finish().expect("well-formed")
+}
+
+use summa_core::substrates::ontonomy::signature::OntologySignature;
+
+fn bench(c: &mut Criterion) {
+    print_record();
+    let mut group = c.benchmark_group("e4_bcm");
+    let v = vehicles_signature().expect("well-formed");
+    let model = v.sample_model();
+    group.bench_function("vehicles_model_check", |b| {
+        b.iter(|| v.ontonomy.is_model(black_box(&model)))
+    });
+    for &n in summa_bench::SWEEP_MEDIUM {
+        let sig = chain_signature(n);
+        group.bench_with_input(
+            BenchmarkId::new("inheritance_check_chain", n),
+            &n,
+            |bencher, _| bencher.iter(|| black_box(&sig).check_inheritance()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! # summa-bench — the experiment and benchmark harness
+//!
+//! One Criterion bench per experiment of the DESIGN.md index
+//! (E1–E12, excluding E5/E8 which are example-only figure
+//! regenerations). Each bench first prints the regenerated experiment
+//! rows — the reproduction record that EXPERIMENTS.md pins — and then
+//! times the core operation over a parameter sweep.
+//!
+//! Run everything with `cargo bench`, or a single experiment with
+//! e.g. `cargo bench --bench e6_isomorphism`.
+
+/// Print a banner separating the experiment record from Criterion's
+/// timing output.
+pub fn banner(experiment: &str, paper_artifact: &str) {
+    println!("\n=== {experiment} — reproduces: {paper_artifact} ===");
+}
+
+/// Standard sweep sizes for scaling experiments.
+pub const SWEEP_SMALL: &[usize] = &[2, 4, 6];
+/// Larger sweep for polynomial-cost experiments.
+pub const SWEEP_MEDIUM: &[usize] = &[8, 16, 32, 64];
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweeps_are_increasing() {
+        assert!(super::SWEEP_SMALL.windows(2).all(|w| w[0] < w[1]));
+        assert!(super::SWEEP_MEDIUM.windows(2).all(|w| w[0] < w[1]));
+    }
+}

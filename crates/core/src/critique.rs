@@ -1,0 +1,169 @@
+//! The paper's three critiques as runnable analyses.
+
+use crate::corpus::standard_corpus;
+use crate::definitions::standard_definitions;
+use crate::report::AdmissionMatrix;
+use serde::Serialize;
+use summa_dl::corpus::{animals_tbox, animals_tbox_repaired, vehicles_tbox, PaperVocab};
+use summa_hermeneutic::prelude::{all_contexts, encoding_loss, interpret, trespassers_sign, MeaningVariance};
+use summa_lexfield::prelude::{age_adjectives_dataset, doorknob_dataset, Alignment};
+use summa_structure::prelude::{find_isomorphic_pairs, structurally_indistinguishable};
+
+/// §2 — run every candidate definition over the whole corpus (no
+/// telos declared, which is the honest structural setting).
+pub fn syntactic_critique() -> AdmissionMatrix {
+    let corpus = standard_corpus();
+    let defs = standard_definitions();
+    let cells = corpus
+        .iter()
+        .map(|a| defs.iter().map(|d| d.admits(a, None)).collect())
+        .collect();
+    AdmissionMatrix {
+        artifacts: corpus.iter().map(|a| a.name().to_string()).collect(),
+        definitions: defs.iter().map(|d| d.name().to_string()).collect(),
+        cells,
+    }
+}
+
+/// The findings of the §3 semantic critique.
+#[derive(Debug, Clone, Serialize)]
+pub struct SemanticReport {
+    /// CAR = DOG holds before the repair.
+    pub car_equals_dog: bool,
+    /// …and fails after axioms (9)–(11).
+    pub repair_breaks_collapse: bool,
+    /// Number of cross-ontonomy concept pairs that collapse between
+    /// structures (4) and (8).
+    pub collapsed_pairs: usize,
+    /// The doorknob alignment is not a bijection.
+    pub doorknob_not_bijective: bool,
+    /// Total translation ambiguity across the three age-adjective
+    /// pairings (it→es, it→fr, es→fr).
+    pub age_total_ambiguity: usize,
+    /// No pair of age fields divides the space identically.
+    pub age_divisions_all_differ: bool,
+}
+
+/// §3 — run the structural collapse and the lexical-field analyses.
+pub fn semantic_critique() -> SemanticReport {
+    let p = PaperVocab::new();
+    let vehicles = vehicles_tbox(&p);
+    let animals = animals_tbox(&p);
+    let repaired = animals_tbox_repaired(&p);
+
+    let car_equals_dog =
+        structurally_indistinguishable(&vehicles, p.car, &animals, p.dog, &p.voc).is_some();
+    let repair_breaks_collapse =
+        structurally_indistinguishable(&vehicles, p.car, &repaired, p.dog, &p.voc).is_none();
+    let collapsed_pairs = find_isomorphic_pairs(&vehicles, &animals, &p.voc, 8).len();
+
+    let (space, en, it) = doorknob_dataset();
+    let doorknob_not_bijective = !Alignment::between(&space, &en, &it).is_bijective();
+
+    let age = age_adjectives_dataset();
+    let pairings = [
+        (&age.italian, &age.spanish),
+        (&age.italian, &age.french),
+        (&age.spanish, &age.french),
+    ];
+    let age_total_ambiguity = pairings
+        .iter()
+        .map(|(a, b)| Alignment::between(&age.space, a, b).total_ambiguity())
+        .sum();
+    let age_divisions_all_differ = pairings.iter().all(|(a, b)| {
+        !summa_lexfield::field::same_division(&age.space, a, b)
+    });
+
+    SemanticReport {
+        car_equals_dog,
+        repair_breaks_collapse,
+        collapsed_pairs,
+        doorknob_not_bijective,
+        age_total_ambiguity,
+        age_divisions_all_differ,
+    }
+}
+
+/// The findings of the §3–4 pragmatic critique.
+#[derive(Debug, Clone, Serialize)]
+pub struct PragmaticReport {
+    /// Number of contexts examined.
+    pub n_contexts: usize,
+    /// Distinct interpretations of the one text.
+    pub n_distinct_meanings: usize,
+    /// Mean pairwise Jaccard distance between interpretations.
+    pub mean_meaning_distance: f64,
+    /// Mean loss when the author's (door) reading is frozen as *the*
+    /// encoding — the death of the reader, quantified.
+    pub encoding_loss: f64,
+}
+
+/// §3–4 — run the situated-interpretation analysis on the paper's
+/// "trespassers will be prosecuted" example.
+pub fn pragmatic_critique() -> PragmaticReport {
+    let text = trespassers_sign();
+    let contexts = all_contexts();
+    let refs: Vec<&summa_hermeneutic::context::Context> = contexts.iter().collect();
+    let variance = MeaningVariance::across(&text, &refs);
+    let frozen = interpret(&text, &contexts[0]); // the door reading
+    let loss = encoding_loss(&text, &frozen, &refs);
+    PragmaticReport {
+        n_contexts: contexts.len(),
+        n_distinct_meanings: variance.n_distinct,
+        mean_meaning_distance: variance.mean_jaccard_distance,
+        encoding_loss: loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::definitions::Verdict;
+
+    #[test]
+    fn syntactic_matrix_reproduces_the_overbreadth_claims() {
+        let m = syntactic_critique();
+        // The paper: "many things, from a C program to a very well
+        // structured grocery list, to a tax return form would qualify."
+        for artifact in ["grocery list", "C program", "tax return form", "tautology set"] {
+            assert!(
+                m.admitted(artifact, "Guarino (abstracted)"),
+                "{artifact} must qualify once the language is abstracted"
+            );
+        }
+        // The structural definition admits only the real signature.
+        assert_eq!(m.admission_count("Bench-Capon & Malcolm"), 1);
+        // The functional definition decides nothing without a telos.
+        for a in &m.artifacts {
+            assert_eq!(
+                m.judgment(a, "Gruber (functional)").unwrap().verdict,
+                Verdict::Undecidable
+            );
+        }
+        // Strictness is monotone: exact ⊆ approximate ⊆ abstracted.
+        let exact = m.admission_count("Guarino (exact)");
+        let approx = m.admission_count("Guarino (approximate)");
+        let abstracted = m.admission_count("Guarino (abstracted)");
+        assert!(exact <= approx && approx <= abstracted);
+    }
+
+    #[test]
+    fn semantic_report_matches_the_paper() {
+        let r = semantic_critique();
+        assert!(r.car_equals_dog);
+        assert!(r.repair_breaks_collapse);
+        assert!(r.collapsed_pairs > 0);
+        assert!(r.doorknob_not_bijective);
+        assert!(r.age_total_ambiguity > 0);
+        assert!(r.age_divisions_all_differ);
+    }
+
+    #[test]
+    fn pragmatic_report_shows_reader_dependence() {
+        let r = pragmatic_critique();
+        assert_eq!(r.n_contexts, 4);
+        assert_eq!(r.n_distinct_meanings, 4);
+        assert!(r.mean_meaning_distance > 0.5);
+        assert!(r.encoding_loss > 0.0);
+    }
+}

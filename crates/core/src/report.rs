@@ -1,0 +1,108 @@
+//! Rendering of admission matrices and critique reports.
+
+use crate::definitions::{Judgment, Verdict};
+use serde::Serialize;
+
+/// The artifact × definition admission matrix of the syntactic
+/// critique (experiment E3).
+#[derive(Debug, Clone, Serialize)]
+pub struct AdmissionMatrix {
+    /// Artifact names (rows).
+    pub artifacts: Vec<String>,
+    /// Definition names (columns).
+    pub definitions: Vec<String>,
+    /// `cells[row][col]`.
+    pub cells: Vec<Vec<Judgment>>,
+}
+
+impl AdmissionMatrix {
+    /// Was `artifact` admitted by `definition`?
+    pub fn admitted(&self, artifact: &str, definition: &str) -> bool {
+        self.judgment(artifact, definition)
+            .map(|j| j.verdict == Verdict::Admitted)
+            .unwrap_or(false)
+    }
+
+    /// Fetch one judgment.
+    pub fn judgment(&self, artifact: &str, definition: &str) -> Option<&Judgment> {
+        let r = self.artifacts.iter().position(|a| a == artifact)?;
+        let c = self.definitions.iter().position(|d| d == definition)?;
+        self.cells.get(r)?.get(c)
+    }
+
+    /// How many artifacts a definition admits.
+    pub fn admission_count(&self, definition: &str) -> usize {
+        let Some(c) = self.definitions.iter().position(|d| d == definition) else {
+            return 0;
+        };
+        self.cells
+            .iter()
+            .filter(|row| row[c].verdict == Verdict::Admitted)
+            .count()
+    }
+
+    /// Render as a fixed-width text table (✓ admitted, ✗ rejected,
+    /// ? undecidable).
+    pub fn render(&self) -> String {
+        let mark = |v: Verdict| match v {
+            Verdict::Admitted => "✓",
+            Verdict::Rejected => "✗",
+            Verdict::Undecidable => "?",
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{:<26}", "artifact \\ definition"));
+        for d in &self.definitions {
+            out.push_str(&format!("{:>24}", d));
+        }
+        out.push('\n');
+        for (i, a) in self.artifacts.iter().enumerate() {
+            out.push_str(&format!("{a:<26}"));
+            for j in &self.cells[i] {
+                out.push_str(&format!("{:>24}", mark(j.verdict)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AdmissionMatrix {
+        AdmissionMatrix {
+            artifacts: vec!["a".into()],
+            definitions: vec!["d1".into(), "d2".into()],
+            cells: vec![vec![
+                Judgment {
+                    verdict: Verdict::Admitted,
+                    reason: "yes".into(),
+                },
+                Judgment {
+                    verdict: Verdict::Undecidable,
+                    reason: "depends".into(),
+                },
+            ]],
+        }
+    }
+
+    #[test]
+    fn lookup_and_counts() {
+        let m = tiny();
+        assert!(m.admitted("a", "d1"));
+        assert!(!m.admitted("a", "d2"));
+        assert!(!m.admitted("missing", "d1"));
+        assert_eq!(m.admission_count("d1"), 1);
+        assert_eq!(m.admission_count("d2"), 0);
+        assert_eq!(m.judgment("a", "d2").unwrap().reason, "depends");
+    }
+
+    #[test]
+    fn render_marks_cells() {
+        let s = tiny().render();
+        assert!(s.contains('✓'));
+        assert!(s.contains('?'));
+        assert!(s.contains("d1"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Assertional boxes (ABoxes): concept and role assertions about
+//! named individuals.
+
+use crate::concept::{Concept, RoleId, Vocabulary};
+
+/// Interned individual name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Individual(pub u32);
+
+/// An ABox over a vocabulary, with its own individual interner.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ABox {
+    individuals: Vec<String>,
+    concept_assertions: Vec<(Individual, Concept)>,
+    role_assertions: Vec<(Individual, RoleId, Individual)>,
+}
+
+impl ABox {
+    /// An empty ABox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern an individual by name (idempotent).
+    pub fn individual(&mut self, name: &str) -> Individual {
+        if let Some(i) = self.individuals.iter().position(|n| n == name) {
+            return Individual(i as u32);
+        }
+        self.individuals.push(name.to_string());
+        Individual((self.individuals.len() - 1) as u32)
+    }
+
+    /// Name of an individual.
+    pub fn individual_name(&self, i: Individual) -> &str {
+        &self.individuals[i.0 as usize]
+    }
+
+    /// Number of individuals.
+    pub fn n_individuals(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// All individuals.
+    pub fn individuals(&self) -> impl Iterator<Item = Individual> + '_ {
+        (0..self.individuals.len() as u32).map(Individual)
+    }
+
+    /// Assert `C(a)`.
+    pub fn assert_concept(&mut self, a: Individual, c: Concept) {
+        self.concept_assertions.push((a, c));
+    }
+
+    /// Assert `r(a, b)`.
+    pub fn assert_role(&mut self, a: Individual, r: RoleId, b: Individual) {
+        self.role_assertions.push((a, r, b));
+    }
+
+    /// Concept assertions.
+    pub fn concept_assertions(&self) -> &[(Individual, Concept)] {
+        &self.concept_assertions
+    }
+
+    /// Role assertions.
+    pub fn role_assertions(&self) -> &[(Individual, RoleId, Individual)] {
+        &self.role_assertions
+    }
+
+    /// Render against a vocabulary.
+    pub fn render(&self, voc: &Vocabulary) -> String {
+        let mut out = String::new();
+        for (a, c) in &self.concept_assertions {
+            out.push_str(&format!(
+                "{}({})\n",
+                c.display(voc),
+                self.individual_name(*a)
+            ));
+        }
+        for (a, r, b) in &self.role_assertions {
+            out.push_str(&format!(
+                "{}({}, {})\n",
+                voc.role_name(*r),
+                self.individual_name(*a),
+                self.individual_name(*b)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn individuals_are_interned() {
+        let mut a = ABox::new();
+        let x = a.individual("napoleon");
+        let y = a.individual("napoleon");
+        assert_eq!(x, y);
+        assert_eq!(a.n_individuals(), 1);
+        assert_eq!(a.individual_name(x), "napoleon");
+    }
+
+    #[test]
+    fn assertions_accumulate_and_render() {
+        let mut voc = Vocabulary::new();
+        let winner = voc.concept("WinnerAtJena");
+        let r = voc.role("defeated");
+        let mut a = ABox::new();
+        let nap = a.individual("napoleon");
+        let prussia = a.individual("prussia");
+        a.assert_concept(nap, Concept::atom(winner));
+        a.assert_role(nap, r, prussia);
+        assert_eq!(a.concept_assertions().len(), 1);
+        assert_eq!(a.role_assertions().len(), 1);
+        let s = a.render(&voc);
+        assert!(s.contains("WinnerAtJena(napoleon)"));
+        assert!(s.contains("defeated(napoleon, prussia)"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Classification: computing the full subsumption hierarchy over the
+//! named concepts of a TBox.
+
+use crate::concept::{Concept, ConceptId, Vocabulary};
+use crate::el::ElClassifier;
+use crate::error::Result;
+use crate::tableau::Tableau;
+use crate::tbox::TBox;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The computed hierarchy: for every named concept, its full set of
+/// named subsumers (reflexive–transitive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassHierarchy {
+    subsumers: BTreeMap<ConceptId, BTreeSet<ConceptId>>,
+}
+
+impl ClassHierarchy {
+    /// Does `sup` subsume `sub`?
+    pub fn subsumes(&self, sup: ConceptId, sub: ConceptId) -> bool {
+        self.subsumers
+            .get(&sub)
+            .map(|s| s.contains(&sup))
+            .unwrap_or(false)
+    }
+
+    /// Equivalent concepts (mutual subsumption).
+    pub fn equivalent(&self, a: ConceptId, b: ConceptId) -> bool {
+        self.subsumes(a, b) && self.subsumes(b, a)
+    }
+
+    /// All subsumers of `c` (including itself).
+    pub fn subsumers_of(&self, c: ConceptId) -> BTreeSet<ConceptId> {
+        self.subsumers.get(&c).cloned().unwrap_or_default()
+    }
+
+    /// Direct (non-transitive, non-reflexive) parents of `c`: subsumers
+    /// with no strictly smaller subsumer in between.
+    pub fn parents_of(&self, c: ConceptId) -> BTreeSet<ConceptId> {
+        let subs = self.subsumers_of(c);
+        let strict: BTreeSet<ConceptId> = subs
+            .iter()
+            .copied()
+            .filter(|&s| s != c && !self.equivalent(s, c))
+            .collect();
+        strict
+            .iter()
+            .copied()
+            .filter(|&p| {
+                !strict
+                    .iter()
+                    .any(|&q| q != p && self.subsumes(p, q) && !self.equivalent(p, q))
+            })
+            .collect()
+    }
+
+    /// All concepts in the hierarchy.
+    pub fn concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        self.subsumers.keys().copied()
+    }
+
+    /// Number of subsumption pairs (reflexive included).
+    pub fn n_pairs(&self) -> usize {
+        self.subsumers.values().map(BTreeSet::len).sum()
+    }
+
+    /// Render as an indented tree-ish listing of parent links.
+    pub fn render(&self, voc: &Vocabulary) -> String {
+        let mut out = String::new();
+        for c in self.concepts() {
+            let parents = self.parents_of(c);
+            if parents.is_empty() {
+                out.push_str(&format!("{} ⊑ ⊤\n", voc.concept_name(c)));
+            }
+            for p in parents {
+                out.push_str(&format!(
+                    "{} ⊑ {}\n",
+                    voc.concept_name(c),
+                    voc.concept_name(p)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A classification strategy.
+pub trait Classifier {
+    /// Compute the subsumer sets for all named concepts of the TBox.
+    fn classify(&mut self, tbox: &TBox, voc: &Vocabulary) -> Result<ClassHierarchy>;
+}
+
+impl Classifier for Tableau {
+    /// O(n²) pairwise subsumption tests through the tableau (with its
+    /// satisfiability cache this is the classical brute-force
+    /// classification).
+    fn classify(&mut self, tbox: &TBox, _voc: &Vocabulary) -> Result<ClassHierarchy> {
+        let atoms: Vec<ConceptId> = tbox.atoms().into_iter().collect();
+        let mut subsumers = BTreeMap::new();
+        for &sub in &atoms {
+            let mut set = BTreeSet::new();
+            for &sup in &atoms {
+                let unsat = self.try_is_satisfiable(&Concept::and(vec![
+                    Concept::atom(sub),
+                    Concept::not(Concept::atom(sup)),
+                ]))?;
+                if !unsat {
+                    set.insert(sup);
+                }
+            }
+            subsumers.insert(sub, set);
+        }
+        Ok(ClassHierarchy { subsumers })
+    }
+}
+
+impl Classifier for ElClassifier {
+    fn classify(&mut self, tbox: &TBox, _voc: &Vocabulary) -> Result<ClassHierarchy> {
+        self.saturate();
+        let atoms: Vec<ConceptId> = tbox.atoms().into_iter().collect();
+        let mut subsumers = BTreeMap::new();
+        for &sub in &atoms {
+            let mut set = BTreeSet::new();
+            for &sup in &atoms {
+                if self.subsumes(sup, sub) {
+                    set.insert(sup);
+                }
+            }
+            subsumers.insert(sub, set);
+        }
+        Ok(ClassHierarchy { subsumers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_tbox() -> (Vocabulary, TBox, Vec<ConceptId>) {
+        let mut voc = Vocabulary::new();
+        let ids: Vec<ConceptId> = (0..4).map(|i| voc.concept(&format!("C{i}"))).collect();
+        let mut t = TBox::new();
+        for w in ids.windows(2) {
+            t.subsume(Concept::atom(w[0]), Concept::atom(w[1]));
+        }
+        (voc, t, ids)
+    }
+
+    #[test]
+    fn tableau_and_el_agree_on_chain() {
+        let (voc, t, ids) = chain_tbox();
+        let h1 = Tableau::new(&t, &voc).classify(&t, &voc).unwrap();
+        let h2 = ElClassifier::new(&t, &voc)
+            .unwrap()
+            .classify(&t, &voc)
+            .unwrap();
+        assert_eq!(h1, h2);
+        assert!(h1.subsumes(ids[3], ids[0]));
+        assert!(!h1.subsumes(ids[0], ids[3]));
+    }
+
+    #[test]
+    fn parents_skip_transitive_links() {
+        let (voc, t, ids) = chain_tbox();
+        let h = Tableau::new(&t, &voc).classify(&t, &voc).unwrap();
+        let parents = h.parents_of(ids[0]);
+        assert_eq!(parents, [ids[1]].into_iter().collect());
+        assert!(h.parents_of(ids[3]).is_empty());
+    }
+
+    #[test]
+    fn equivalent_concepts_detected() {
+        let mut voc = Vocabulary::new();
+        let a = voc.concept("A");
+        let b = voc.concept("B");
+        let mut t = TBox::new();
+        t.equiv(Concept::atom(a), Concept::atom(b));
+        let h = Tableau::new(&t, &voc).classify(&t, &voc).unwrap();
+        assert!(h.equivalent(a, b));
+        // Each is the other's subsumer but neither is a strict parent.
+        assert!(h.parents_of(a).is_empty());
+    }
+
+    #[test]
+    fn render_mentions_every_edge() {
+        let (voc, t, _) = chain_tbox();
+        let h = Tableau::new(&t, &voc).classify(&t, &voc).unwrap();
+        let s = h.render(&voc);
+        assert!(s.contains("C0 ⊑ C1"));
+        assert!(s.contains("C3 ⊑ ⊤"));
+        assert!(!s.contains("C0 ⊑ C2")); // transitive edge elided
+    }
+
+    #[test]
+    fn n_pairs_counts_reflexive_and_transitive() {
+        let (voc, t, _) = chain_tbox();
+        let h = Tableau::new(&t, &voc).classify(&t, &voc).unwrap();
+        // 4 + 3 + 2 + 1 = 10 subsumption pairs on a 4-chain.
+        assert_eq!(h.n_pairs(), 10);
+    }
+}

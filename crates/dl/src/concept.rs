@@ -1,0 +1,543 @@
+//! The ALCQ concept language.
+//!
+//! Concepts are built from interned atomic concept names and role
+//! names with the constructors ⊤, ⊥, ¬, ⊓, ⊔, ∃r.C, ∀r.C and the
+//! qualified number restrictions ≥n r.C / ≤n r.C (the paper's
+//! `∃₄has.wheels` is `≥4 has.wheel ⊓ ≤4 has.wheel`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Interned atomic concept name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConceptId(pub u32);
+
+/// Interned role name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RoleId(pub u32);
+
+/// Interner for concept and role names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    concepts: Vec<String>,
+    roles: Vec<String>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a concept name (idempotent).
+    pub fn concept(&mut self, name: &str) -> ConceptId {
+        if let Some(i) = self.concepts.iter().position(|n| n == name) {
+            return ConceptId(i as u32);
+        }
+        self.concepts.push(name.to_string());
+        ConceptId((self.concepts.len() - 1) as u32)
+    }
+
+    /// Intern a role name (idempotent).
+    pub fn role(&mut self, name: &str) -> RoleId {
+        if let Some(i) = self.roles.iter().position(|n| n == name) {
+            return RoleId(i as u32);
+        }
+        self.roles.push(name.to_string());
+        RoleId((self.roles.len() - 1) as u32)
+    }
+
+    /// Look up a concept id by name without interning.
+    pub fn find_concept(&self, name: &str) -> Option<ConceptId> {
+        self.concepts
+            .iter()
+            .position(|n| n == name)
+            .map(|i| ConceptId(i as u32))
+    }
+
+    /// Look up a role id by name without interning.
+    pub fn find_role(&self, name: &str) -> Option<RoleId> {
+        self.roles
+            .iter()
+            .position(|n| n == name)
+            .map(|i| RoleId(i as u32))
+    }
+
+    /// Name of a concept id.
+    pub fn concept_name(&self, c: ConceptId) -> &str {
+        &self.concepts[c.0 as usize]
+    }
+
+    /// Name of a role id.
+    pub fn role_name(&self, r: RoleId) -> &str {
+        &self.roles[r.0 as usize]
+    }
+
+    /// Number of interned concept names.
+    pub fn n_concepts(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Number of interned role names.
+    pub fn n_roles(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// All concept ids.
+    pub fn concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.concepts.len() as u32).map(ConceptId)
+    }
+
+    /// All role ids.
+    pub fn roles(&self) -> impl Iterator<Item = RoleId> + '_ {
+        (0..self.roles.len() as u32).map(RoleId)
+    }
+}
+
+/// An ALCQ concept expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Concept {
+    /// ⊤ — everything.
+    Top,
+    /// ⊥ — nothing.
+    Bottom,
+    /// An atomic concept name.
+    Atom(ConceptId),
+    /// ¬C.
+    Not(Box<Concept>),
+    /// C₁ ⊓ … ⊓ Cₙ (n ≥ 2 after normalization).
+    And(Vec<Concept>),
+    /// C₁ ⊔ … ⊔ Cₙ.
+    Or(Vec<Concept>),
+    /// ∃r.C.
+    Exists(RoleId, Box<Concept>),
+    /// ∀r.C.
+    Forall(RoleId, Box<Concept>),
+    /// ≥n r.C.
+    AtLeast(u32, RoleId, Box<Concept>),
+    /// ≤n r.C.
+    AtMost(u32, RoleId, Box<Concept>),
+}
+
+impl Concept {
+    /// Atomic concept.
+    pub fn atom(c: ConceptId) -> Concept {
+        Concept::Atom(c)
+    }
+
+    /// Negation (with double-negation elimination).
+    #[allow(clippy::should_implement_trait)] // `Concept::not` mirrors DL syntax ¬C
+    pub fn not(c: Concept) -> Concept {
+        match c {
+            Concept::Not(inner) => *inner,
+            Concept::Top => Concept::Bottom,
+            Concept::Bottom => Concept::Top,
+            other => Concept::Not(Box::new(other)),
+        }
+    }
+
+    /// n-ary conjunction, flattening nested conjunctions and dropping ⊤.
+    pub fn and(cs: Vec<Concept>) -> Concept {
+        let mut flat = vec![];
+        for c in cs {
+            match c {
+                Concept::And(inner) => flat.extend(inner),
+                Concept::Top => {}
+                Concept::Bottom => return Concept::Bottom,
+                other => flat.push(other),
+            }
+        }
+        flat.sort();
+        flat.dedup();
+        match flat.len() {
+            0 => Concept::Top,
+            1 => flat.pop().expect("len checked"),
+            _ => Concept::And(flat),
+        }
+    }
+
+    /// n-ary disjunction, flattening and dropping ⊥.
+    pub fn or(cs: Vec<Concept>) -> Concept {
+        let mut flat = vec![];
+        for c in cs {
+            match c {
+                Concept::Or(inner) => flat.extend(inner),
+                Concept::Bottom => {}
+                Concept::Top => return Concept::Top,
+                other => flat.push(other),
+            }
+        }
+        flat.sort();
+        flat.dedup();
+        match flat.len() {
+            0 => Concept::Bottom,
+            1 => flat.pop().expect("len checked"),
+            _ => Concept::Or(flat),
+        }
+    }
+
+    /// ∃r.C.
+    pub fn exists(r: RoleId, c: Concept) -> Concept {
+        Concept::Exists(r, Box::new(c))
+    }
+
+    /// ∀r.C.
+    pub fn forall(r: RoleId, c: Concept) -> Concept {
+        Concept::Forall(r, Box::new(c))
+    }
+
+    /// ≥n r.C.
+    pub fn at_least(n: u32, r: RoleId, c: Concept) -> Concept {
+        Concept::AtLeast(n, r, Box::new(c))
+    }
+
+    /// ≤n r.C.
+    pub fn at_most(n: u32, r: RoleId, c: Concept) -> Concept {
+        Concept::AtMost(n, r, Box::new(c))
+    }
+
+    /// "Exactly n r.C" — the paper's `∃ₙr.C` reading: ≥n ⊓ ≤n.
+    pub fn exactly(n: u32, r: RoleId, c: Concept) -> Concept {
+        Concept::and(vec![
+            Concept::at_least(n, r, c.clone()),
+            Concept::at_most(n, r, c),
+        ])
+    }
+
+    /// Negation normal form: negation only on atoms.
+    pub fn nnf(&self) -> Concept {
+        match self {
+            Concept::Top | Concept::Bottom | Concept::Atom(_) => self.clone(),
+            Concept::And(cs) => Concept::and(cs.iter().map(Concept::nnf).collect()),
+            Concept::Or(cs) => Concept::or(cs.iter().map(Concept::nnf).collect()),
+            Concept::Exists(r, c) => Concept::exists(*r, c.nnf()),
+            Concept::Forall(r, c) => Concept::forall(*r, c.nnf()),
+            Concept::AtLeast(n, r, c) => Concept::at_least(*n, *r, c.nnf()),
+            Concept::AtMost(n, r, c) => Concept::at_most(*n, *r, c.nnf()),
+            Concept::Not(inner) => match inner.as_ref() {
+                Concept::Top => Concept::Bottom,
+                Concept::Bottom => Concept::Top,
+                Concept::Atom(_) => self.clone(),
+                Concept::Not(c) => c.nnf(),
+                Concept::And(cs) => {
+                    Concept::or(cs.iter().map(|c| Concept::not(c.clone()).nnf()).collect())
+                }
+                Concept::Or(cs) => {
+                    Concept::and(cs.iter().map(|c| Concept::not(c.clone()).nnf()).collect())
+                }
+                Concept::Exists(r, c) => Concept::forall(*r, Concept::not(*c.clone()).nnf()),
+                Concept::Forall(r, c) => Concept::exists(*r, Concept::not(*c.clone()).nnf()),
+                // ¬(≥n r.C) = ≤(n−1) r.C ; ¬(≥0 r.C) = ⊥
+                Concept::AtLeast(n, r, c) => {
+                    if *n == 0 {
+                        Concept::Bottom
+                    } else {
+                        Concept::at_most(n - 1, *r, c.nnf())
+                    }
+                }
+                // ¬(≤n r.C) = ≥(n+1) r.C
+                Concept::AtMost(n, r, c) => Concept::at_least(n + 1, *r, c.nnf()),
+            },
+        }
+    }
+
+    /// Number of constructors in the expression.
+    pub fn size(&self) -> usize {
+        match self {
+            Concept::Top | Concept::Bottom | Concept::Atom(_) => 1,
+            Concept::Not(c) => 1 + c.size(),
+            Concept::And(cs) | Concept::Or(cs) => 1 + cs.iter().map(Concept::size).sum::<usize>(),
+            Concept::Exists(_, c)
+            | Concept::Forall(_, c)
+            | Concept::AtLeast(_, _, c)
+            | Concept::AtMost(_, _, c) => 1 + c.size(),
+        }
+    }
+
+    /// Maximal nesting depth of role restrictions.
+    pub fn role_depth(&self) -> usize {
+        match self {
+            Concept::Top | Concept::Bottom | Concept::Atom(_) => 0,
+            Concept::Not(c) => c.role_depth(),
+            Concept::And(cs) | Concept::Or(cs) => {
+                cs.iter().map(Concept::role_depth).max().unwrap_or(0)
+            }
+            Concept::Exists(_, c)
+            | Concept::Forall(_, c)
+            | Concept::AtLeast(_, _, c)
+            | Concept::AtMost(_, _, c) => 1 + c.role_depth(),
+        }
+    }
+
+    /// All atomic concept ids occurring in the expression.
+    pub fn atoms(&self) -> BTreeSet<ConceptId> {
+        let mut out = BTreeSet::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut BTreeSet<ConceptId>) {
+        match self {
+            Concept::Top | Concept::Bottom => {}
+            Concept::Atom(c) => {
+                out.insert(*c);
+            }
+            Concept::Not(c) => c.collect_atoms(out),
+            Concept::And(cs) | Concept::Or(cs) => {
+                for c in cs {
+                    c.collect_atoms(out);
+                }
+            }
+            Concept::Exists(_, c)
+            | Concept::Forall(_, c)
+            | Concept::AtLeast(_, _, c)
+            | Concept::AtMost(_, _, c) => c.collect_atoms(out),
+        }
+    }
+
+    /// All role ids occurring in the expression.
+    pub fn roles(&self) -> BTreeSet<RoleId> {
+        let mut out = BTreeSet::new();
+        self.collect_roles(&mut out);
+        out
+    }
+
+    fn collect_roles(&self, out: &mut BTreeSet<RoleId>) {
+        match self {
+            Concept::Top | Concept::Bottom | Concept::Atom(_) => {}
+            Concept::Not(c) => c.collect_roles(out),
+            Concept::And(cs) | Concept::Or(cs) => {
+                for c in cs {
+                    c.collect_roles(out);
+                }
+            }
+            Concept::Exists(r, c)
+            | Concept::Forall(r, c)
+            | Concept::AtLeast(_, r, c)
+            | Concept::AtMost(_, r, c) => {
+                out.insert(*r);
+                c.collect_roles(out);
+            }
+        }
+    }
+
+    /// True when the expression lies in the EL fragment (⊤, atoms, ⊓,
+    /// ∃r.C only).
+    pub fn is_el(&self) -> bool {
+        match self {
+            Concept::Top | Concept::Atom(_) => true,
+            Concept::And(cs) => cs.iter().all(Concept::is_el),
+            Concept::Exists(_, c) => c.is_el(),
+            _ => false,
+        }
+    }
+
+    /// Pretty-print against a vocabulary.
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> ConceptDisplay<'a> {
+        ConceptDisplay { c: self, voc }
+    }
+}
+
+/// Pretty-printer for [`Concept`].
+pub struct ConceptDisplay<'a> {
+    c: &'a Concept,
+    voc: &'a Vocabulary,
+}
+
+impl fmt::Display for ConceptDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.c {
+            Concept::Top => write!(f, "⊤"),
+            Concept::Bottom => write!(f, "⊥"),
+            Concept::Atom(c) => write!(f, "{}", self.voc.concept_name(*c)),
+            Concept::Not(c) => write!(f, "¬{}", c.display(self.voc)),
+            Concept::And(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ⊓ ")?;
+                    }
+                    write!(f, "{}", c.display(self.voc))?;
+                }
+                write!(f, ")")
+            }
+            Concept::Or(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ⊔ ")?;
+                    }
+                    write!(f, "{}", c.display(self.voc))?;
+                }
+                write!(f, ")")
+            }
+            Concept::Exists(r, c) => {
+                write!(f, "∃{}.{}", self.voc.role_name(*r), c.display(self.voc))
+            }
+            Concept::Forall(r, c) => {
+                write!(f, "∀{}.{}", self.voc.role_name(*r), c.display(self.voc))
+            }
+            Concept::AtLeast(n, r, c) => {
+                write!(f, "≥{n} {}.{}", self.voc.role_name(*r), c.display(self.voc))
+            }
+            Concept::AtMost(n, r, c) => {
+                write!(f, "≤{n} {}.{}", self.voc.role_name(*r), c.display(self.voc))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voc() -> (Vocabulary, ConceptId, ConceptId, RoleId) {
+        let mut v = Vocabulary::new();
+        let a = v.concept("A");
+        let b = v.concept("B");
+        let r = v.role("r");
+        (v, a, b, r)
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.concept("A"), v.concept("A"));
+        assert_eq!(v.role("r"), v.role("r"));
+        assert_eq!(v.n_concepts(), 1);
+        assert_eq!(v.n_roles(), 1);
+        assert_eq!(v.find_concept("A"), Some(ConceptId(0)));
+        assert_eq!(v.find_concept("Z"), None);
+    }
+
+    #[test]
+    fn and_flattens_and_dedupes() {
+        let (_v, a, b, _r) = voc();
+        let c = Concept::and(vec![
+            Concept::atom(a),
+            Concept::and(vec![Concept::atom(b), Concept::atom(a)]),
+            Concept::Top,
+        ]);
+        assert_eq!(c, Concept::And(vec![Concept::atom(a), Concept::atom(b)]));
+    }
+
+    #[test]
+    fn and_with_bottom_collapses() {
+        let (_v, a, _b, _r) = voc();
+        assert_eq!(
+            Concept::and(vec![Concept::atom(a), Concept::Bottom]),
+            Concept::Bottom
+        );
+        assert_eq!(Concept::and(vec![]), Concept::Top);
+        assert_eq!(Concept::or(vec![]), Concept::Bottom);
+    }
+
+    #[test]
+    fn or_with_top_collapses() {
+        let (_v, a, _b, _r) = voc();
+        assert_eq!(
+            Concept::or(vec![Concept::atom(a), Concept::Top]),
+            Concept::Top
+        );
+    }
+
+    #[test]
+    fn double_negation_eliminated() {
+        let (_v, a, _b, _r) = voc();
+        let c = Concept::not(Concept::not(Concept::atom(a)));
+        assert_eq!(c, Concept::atom(a));
+    }
+
+    #[test]
+    fn nnf_pushes_negation_through_quantifiers() {
+        let (_v, a, _b, r) = voc();
+        let c = Concept::not(Concept::exists(r, Concept::atom(a)));
+        assert_eq!(c.nnf(), Concept::forall(r, Concept::not(Concept::atom(a))));
+        let d = Concept::not(Concept::forall(r, Concept::atom(a)));
+        assert_eq!(d.nnf(), Concept::exists(r, Concept::not(Concept::atom(a))));
+    }
+
+    #[test]
+    fn nnf_de_morgan() {
+        let (_v, a, b, _r) = voc();
+        let c = Concept::not(Concept::and(vec![Concept::atom(a), Concept::atom(b)]));
+        assert_eq!(
+            c.nnf(),
+            Concept::or(vec![
+                Concept::not(Concept::atom(a)),
+                Concept::not(Concept::atom(b))
+            ])
+        );
+    }
+
+    #[test]
+    fn nnf_number_restrictions() {
+        let (_v, a, _b, r) = voc();
+        let c = Concept::not(Concept::at_least(3, r, Concept::atom(a)));
+        assert_eq!(c.nnf(), Concept::at_most(2, r, Concept::atom(a)));
+        let d = Concept::not(Concept::at_most(3, r, Concept::atom(a)));
+        assert_eq!(d.nnf(), Concept::at_least(4, r, Concept::atom(a)));
+        let z = Concept::not(Concept::at_least(0, r, Concept::atom(a)));
+        assert_eq!(z.nnf(), Concept::Bottom);
+    }
+
+    #[test]
+    fn nnf_is_idempotent() {
+        let (_v, a, b, r) = voc();
+        let c = Concept::not(Concept::and(vec![
+            Concept::exists(r, Concept::atom(a)),
+            Concept::forall(r, Concept::or(vec![Concept::atom(b), Concept::Top])),
+        ]));
+        assert_eq!(c.nnf(), c.nnf().nnf());
+    }
+
+    #[test]
+    fn exactly_expands_to_min_and_max() {
+        let (_v, a, _b, r) = voc();
+        let c = Concept::exactly(4, r, Concept::atom(a));
+        match c {
+            Concept::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(parts
+                    .iter()
+                    .any(|p| matches!(p, Concept::AtLeast(4, _, _))));
+                assert!(parts.iter().any(|p| matches!(p, Concept::AtMost(4, _, _))));
+            }
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_depth_atoms_roles() {
+        let (_v, a, b, r) = voc();
+        let c = Concept::exists(
+            r,
+            Concept::and(vec![Concept::atom(a), Concept::atom(b)]),
+        );
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.role_depth(), 1);
+        assert_eq!(c.atoms().len(), 2);
+        assert_eq!(c.roles().len(), 1);
+    }
+
+    #[test]
+    fn el_fragment_detection() {
+        let (_v, a, b, r) = voc();
+        let el = Concept::exists(r, Concept::and(vec![Concept::atom(a), Concept::atom(b)]));
+        assert!(el.is_el());
+        assert!(!Concept::not(Concept::atom(a)).is_el());
+        assert!(!Concept::forall(r, Concept::atom(a)).is_el());
+        assert!(!Concept::at_least(2, r, Concept::atom(a)).is_el());
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let (v, a, b, r) = voc();
+        let c = Concept::and(vec![
+            Concept::atom(a),
+            Concept::exists(r, Concept::atom(b)),
+        ]);
+        let s = format!("{}", c.display(&v));
+        assert!(s.contains('A') && s.contains("∃r.B"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Error types for the description-logic substrate.
+
+use std::fmt;
+
+/// Errors raised while building or reasoning over DL knowledge bases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DlError {
+    /// A concept or role name was used without being interned.
+    UnknownName(String),
+    /// Concept syntax error (parser).
+    Parse { input: String, detail: String },
+    /// The TBox is outside the fragment a reasoner supports.
+    OutsideFragment { reasoner: &'static str, detail: String },
+    /// The tableau expansion exceeded its node budget.
+    NodeBudgetExceeded { budget: usize },
+}
+
+impl fmt::Display for DlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlError::UnknownName(n) => write!(f, "unknown name '{n}'"),
+            DlError::Parse { input, detail } => {
+                write!(f, "cannot parse '{input}': {detail}")
+            }
+            DlError::OutsideFragment { reasoner, detail } => {
+                write!(f, "input outside the {reasoner} fragment: {detail}")
+            }
+            DlError::NodeBudgetExceeded { budget } => {
+                write!(f, "tableau exceeded {budget} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DlError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DlError>;

@@ -1,0 +1,357 @@
+//! A small concrete syntax for concepts and axioms.
+//!
+//! Grammar (ASCII-friendly):
+//!
+//! ```text
+//! concept  := conj ('|' conj)*
+//! conj     := unary ('&' unary)*
+//! unary    := '~' unary
+//!           | 'some' ROLE '.' unary        (∃r.C)
+//!           | 'all' ROLE '.' unary         (∀r.C)
+//!           | 'atleast' N ROLE '.' unary   (≥n r.C)
+//!           | 'atmost' N ROLE '.' unary    (≤n r.C)
+//!           | 'exactly' N ROLE '.' unary   (≥n ⊓ ≤n)
+//!           | 'top' | 'bottom'
+//!           | NAME
+//!           | '(' concept ')'
+//! axiom    := concept '<' concept          (subsumption)
+//!           | concept '=' concept          (equivalence)
+//! ```
+//!
+//! Names are interned into the supplied [`Vocabulary`] on sight.
+//!
+//! ```
+//! use summa_dl::prelude::*;
+//! let mut voc = Vocabulary::new();
+//! let c = parse_concept("car & some size.small", &mut voc).unwrap();
+//! assert_eq!(c.size(), 4);
+//! ```
+
+use crate::concept::{Concept, Vocabulary};
+use crate::error::{DlError, Result};
+use crate::tbox::Axiom;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Name(String),
+    Num(u32),
+    Amp,
+    Pipe,
+    Tilde,
+    Dot,
+    LParen,
+    RParen,
+    Less,
+    Equals,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut out = vec![];
+    let mut chars = input.chars().peekable();
+    while let Some(&ch) = chars.peek() {
+        match ch {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '&' | '⊓' => {
+                chars.next();
+                out.push(Tok::Amp);
+            }
+            '|' | '⊔' => {
+                chars.next();
+                out.push(Tok::Pipe);
+            }
+            '~' | '¬' => {
+                chars.next();
+                out.push(Tok::Tilde);
+            }
+            '.' => {
+                chars.next();
+                out.push(Tok::Dot);
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '<' | '⊑' => {
+                chars.next();
+                out.push(Tok::Less);
+            }
+            '=' | '≡' => {
+                chars.next();
+                out.push(Tok::Equals);
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u32 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n * 10 + v;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Num(n));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Name(s));
+            }
+            other => {
+                return Err(DlError::Parse {
+                    input: input.to_string(),
+                    detail: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    voc: &'a mut Vocabulary,
+    input: String,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, detail: impl Into<String>) -> DlError {
+        DlError::Parse {
+            input: self.input.clone(),
+            detail: detail.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<()> {
+        match self.next() {
+            Some(got) if got == *t => Ok(()),
+            got => Err(self.err(format!("expected {t:?}, got {got:?}"))),
+        }
+    }
+
+    fn concept(&mut self) -> Result<Concept> {
+        let mut parts = vec![self.conj()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.next();
+            parts.push(self.conj()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Concept::or(parts)
+        })
+    }
+
+    fn conj(&mut self) -> Result<Concept> {
+        let mut parts = vec![self.unary()?];
+        while self.peek() == Some(&Tok::Amp) {
+            self.next();
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Concept::and(parts)
+        })
+    }
+
+    fn quantified(&mut self, kw: &str) -> Result<Concept> {
+        // after 'some'/'all': ROLE '.' unary
+        // after 'atleast'/'atmost'/'exactly': N ROLE '.' unary
+        let n = if matches!(kw, "atleast" | "atmost" | "exactly") {
+            match self.next() {
+                Some(Tok::Num(n)) => Some(n),
+                got => return Err(self.err(format!("expected number after '{kw}', got {got:?}"))),
+            }
+        } else {
+            None
+        };
+        let role = match self.next() {
+            Some(Tok::Name(r)) => self.voc.role(&r),
+            got => return Err(self.err(format!("expected role after '{kw}', got {got:?}"))),
+        };
+        self.expect(&Tok::Dot)?;
+        let inner = self.unary()?;
+        Ok(match kw {
+            "some" => Concept::exists(role, inner),
+            "all" => Concept::forall(role, inner),
+            "atleast" => Concept::at_least(n.expect("parsed above"), role, inner),
+            "atmost" => Concept::at_most(n.expect("parsed above"), role, inner),
+            "exactly" => Concept::exactly(n.expect("parsed above"), role, inner),
+            _ => unreachable!("caller passes only quantifier keywords"),
+        })
+    }
+
+    fn unary(&mut self) -> Result<Concept> {
+        match self.next() {
+            Some(Tok::Tilde) => Ok(Concept::not(self.unary()?)),
+            Some(Tok::LParen) => {
+                let c = self.concept()?;
+                self.expect(&Tok::RParen)?;
+                Ok(c)
+            }
+            Some(Tok::Name(name)) => match name.as_str() {
+                "top" => Ok(Concept::Top),
+                "bottom" => Ok(Concept::Bottom),
+                kw @ ("some" | "all" | "atleast" | "atmost" | "exactly") => {
+                    let kw = kw.to_string();
+                    self.quantified(&kw)
+                }
+                _ => Ok(Concept::atom(self.voc.concept(&name))),
+            },
+            got => Err(self.err(format!("expected concept, got {got:?}"))),
+        }
+    }
+}
+
+/// Parse a concept expression, interning new names into `voc`.
+pub fn parse_concept(input: &str, voc: &mut Vocabulary) -> Result<Concept> {
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+        voc,
+        input: input.to_string(),
+    };
+    let c = p.concept()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing tokens"));
+    }
+    Ok(c)
+}
+
+/// Parse an axiom `C < D` (subsumption) or `C = D` (equivalence).
+pub fn parse_axiom(input: &str, voc: &mut Vocabulary) -> Result<Axiom> {
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+        voc,
+        input: input.to_string(),
+    };
+    let lhs = p.concept()?;
+    let op = p.next();
+    let rhs = p.concept()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing tokens"));
+    }
+    match op {
+        Some(Tok::Less) => Ok(Axiom::Subsume { lhs, rhs }),
+        Some(Tok::Equals) => Ok(Axiom::Equiv { lhs, rhs }),
+        got => Err(p.err(format!("expected '<' or '=', got {got:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tbox::TBox;
+
+    #[test]
+    fn parses_atoms_and_constants() {
+        let mut v = Vocabulary::new();
+        assert_eq!(parse_concept("top", &mut v).unwrap(), Concept::Top);
+        assert_eq!(parse_concept("bottom", &mut v).unwrap(), Concept::Bottom);
+        let c = parse_concept("car", &mut v).unwrap();
+        assert!(matches!(c, Concept::Atom(_)));
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let mut v = Vocabulary::new();
+        let c = parse_concept("a & b | c", &mut v).unwrap();
+        // (a ⊓ b) ⊔ c
+        assert!(matches!(c, Concept::Or(_)));
+        let d = parse_concept("a & (b | c)", &mut v).unwrap();
+        assert!(matches!(d, Concept::And(_)));
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        let mut v = Vocabulary::new();
+        let c = parse_concept("some size.small", &mut v).unwrap();
+        assert!(matches!(c, Concept::Exists(_, _)));
+        let d = parse_concept("all has.wheel", &mut v).unwrap();
+        assert!(matches!(d, Concept::Forall(_, _)));
+        let e = parse_concept("atleast 4 has.wheel", &mut v).unwrap();
+        assert!(matches!(e, Concept::AtLeast(4, _, _)));
+        let f = parse_concept("atmost 2 has.wheel", &mut v).unwrap();
+        assert!(matches!(f, Concept::AtMost(2, _, _)));
+        let g = parse_concept("exactly 4 has.wheel", &mut v).unwrap();
+        assert!(matches!(g, Concept::And(_)));
+    }
+
+    #[test]
+    fn parses_negation_and_nesting() {
+        let mut v = Vocabulary::new();
+        let c = parse_concept("~(a & some r.~b)", &mut v).unwrap();
+        assert!(matches!(c, Concept::Not(_)));
+        assert_eq!(c.nnf().nnf(), c.nnf());
+    }
+
+    #[test]
+    fn parses_paper_structure_four() {
+        let mut v = Vocabulary::new();
+        let ax = parse_axiom(
+            "car < motorvehicle & roadvehicle & some size.small",
+            &mut v,
+        )
+        .unwrap();
+        let mut t = TBox::new();
+        t.add(ax);
+        assert_eq!(t.len(), 1);
+        assert!(v.find_concept("car").is_some());
+        assert!(v.find_role("size").is_some());
+    }
+
+    #[test]
+    fn parses_equivalence() {
+        let mut v = Vocabulary::new();
+        let ax = parse_axiom("a = b & c", &mut v).unwrap();
+        assert!(matches!(ax, Axiom::Equiv { .. }));
+    }
+
+    #[test]
+    fn unicode_operators_accepted() {
+        let mut v = Vocabulary::new();
+        let ax = parse_axiom("car ⊑ motor ⊓ road", &mut v).unwrap();
+        assert!(matches!(ax, Axiom::Subsume { .. }));
+        let c = parse_concept("¬a ⊔ b", &mut v).unwrap();
+        assert!(matches!(c, Concept::Or(_)));
+    }
+
+    #[test]
+    fn reports_errors() {
+        let mut v = Vocabulary::new();
+        assert!(parse_concept("", &mut v).is_err());
+        assert!(parse_concept("a &", &mut v).is_err());
+        assert!(parse_concept("a b", &mut v).is_err());
+        assert!(parse_concept("some .x", &mut v).is_err());
+        assert!(parse_concept("atleast has.x", &mut v).is_err());
+        assert!(parse_concept("a @ b", &mut v).is_err());
+        assert!(parse_axiom("a b", &mut v).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! ABox realization: the most specific named concepts of each
+//! individual.
+//!
+//! Realization is the standard DL service that classification enables:
+//! for every individual `a` of an ABox, compute the set of named
+//! concepts `C` with `KB ⊨ C(a)`, and among them the most specific
+//! ones. It is what an information system would actually run on top of
+//! an ontonomy — and therefore where the paper's semantic worries
+//! become operational: the system's "understanding" of `a` is exactly
+//! this set of names, nothing more.
+
+use crate::abox::{ABox, Individual};
+use crate::concept::{Concept, ConceptId, Vocabulary};
+use crate::error::Result;
+use crate::tableau::Tableau;
+use crate::tbox::TBox;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The realization of an ABox: per individual, all entailed named
+/// concepts (the *types*) and the most specific ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Realization {
+    types: BTreeMap<Individual, BTreeSet<ConceptId>>,
+    most_specific: BTreeMap<Individual, BTreeSet<ConceptId>>,
+}
+
+impl Realization {
+    /// All entailed named concepts of an individual.
+    pub fn types_of(&self, a: Individual) -> BTreeSet<ConceptId> {
+        self.types.get(&a).cloned().unwrap_or_default()
+    }
+
+    /// The most specific entailed named concepts of an individual.
+    pub fn most_specific_of(&self, a: Individual) -> BTreeSet<ConceptId> {
+        self.most_specific.get(&a).cloned().unwrap_or_default()
+    }
+
+    /// Is `KB ⊨ C(a)` for the named concept `C`?
+    pub fn is_type(&self, a: Individual, c: ConceptId) -> bool {
+        self.types_of(a).contains(&c)
+    }
+
+    /// Render per-individual listings.
+    pub fn render(&self, abox: &ABox, voc: &Vocabulary) -> String {
+        let mut out = String::new();
+        for (&a, types) in &self.most_specific {
+            let names: Vec<&str> = types.iter().map(|&c| voc.concept_name(c)).collect();
+            out.push_str(&format!(
+                "{}: {}\n",
+                abox.individual_name(a),
+                names.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Realize an ABox against a TBox with the tableau reasoner.
+pub fn realize(tbox: &TBox, abox: &ABox, voc: &Vocabulary) -> Result<Realization> {
+    let mut reasoner = Tableau::new(tbox, voc);
+    // Candidate types: every named concept of the vocabulary (the
+    // TBox's atoms are a subset; ABox-only names count too).
+    let atoms: Vec<ConceptId> = voc.concepts().collect();
+    let mut types: BTreeMap<Individual, BTreeSet<ConceptId>> = BTreeMap::new();
+    for ind in abox.individuals() {
+        let mut set = BTreeSet::new();
+        for &c in &atoms {
+            // KB ⊨ C(a) iff KB ∪ {¬C(a)} inconsistent.
+            let mut extended = abox.clone();
+            extended.assert_concept(ind, Concept::not(Concept::atom(c)));
+            if !reasoner.try_is_consistent(&extended)? {
+                set.insert(c);
+            }
+        }
+        types.insert(ind, set);
+    }
+    // Most specific: drop any type that strictly subsumes another held
+    // type.
+    let mut most_specific = BTreeMap::new();
+    for (&ind, set) in &types {
+        let mut specific = BTreeSet::new();
+        for &c in set {
+            let dominated = set.iter().any(|&d| {
+                d != c
+                    && reasoner.subsumes(&Concept::atom(c), &Concept::atom(d))
+                    && !reasoner.subsumes(&Concept::atom(d), &Concept::atom(c))
+            });
+            if !dominated {
+                specific.insert(c);
+            }
+        }
+        most_specific.insert(ind, specific);
+    }
+    Ok(Realization {
+        types,
+        most_specific,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{vehicles_tbox, PaperVocab};
+
+    #[test]
+    fn beetle_realizes_as_a_car() {
+        let p = PaperVocab::new();
+        let t = vehicles_tbox(&p);
+        let mut abox = ABox::new();
+        let beetle = abox.individual("beetle");
+        abox.assert_concept(beetle, Concept::atom(p.car));
+        let r = realize(&t, &abox, &p.voc).expect("realizes");
+        // Entailed types: car, motorvehicle, roadvehicle.
+        assert!(r.is_type(beetle, p.car));
+        assert!(r.is_type(beetle, p.motorvehicle));
+        assert!(r.is_type(beetle, p.roadvehicle));
+        assert!(!r.is_type(beetle, p.pickup));
+        // Most specific: just car.
+        assert_eq!(
+            r.most_specific_of(beetle),
+            [p.car].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn role_assertions_contribute_types() {
+        let p = PaperVocab::new();
+        let mut t = vehicles_tbox(&p);
+        // Anything that uses gasoline is a motorvehicle (a definition
+        // the base TBox lacks — add the converse for this test).
+        t.subsume(
+            Concept::exists(p.uses, Concept::atom(p.gasoline)),
+            Concept::atom(p.motorvehicle),
+        );
+        let mut abox = ABox::new();
+        let mystery = abox.individual("mystery");
+        let fuel = abox.individual("fuel");
+        abox.assert_concept(fuel, Concept::atom(p.gasoline));
+        abox.assert_role(mystery, p.uses, fuel);
+        let r = realize(&t, &abox, &p.voc).expect("realizes");
+        assert!(r.is_type(mystery, p.motorvehicle));
+        assert!(!r.is_type(mystery, p.car));
+    }
+
+    #[test]
+    fn unasserted_individuals_have_no_named_types() {
+        let p = PaperVocab::new();
+        let t = vehicles_tbox(&p);
+        let mut abox = ABox::new();
+        let thing = abox.individual("thing");
+        // Must be mentioned somehow; an empty assertion set means no
+        // entailed named concepts.
+        abox.assert_concept(thing, Concept::Top);
+        let r = realize(&t, &abox, &p.voc).expect("realizes");
+        assert!(r.types_of(thing).is_empty());
+        assert!(r.most_specific_of(thing).is_empty());
+    }
+
+    #[test]
+    fn render_lists_most_specific_names() {
+        let p = PaperVocab::new();
+        let t = vehicles_tbox(&p);
+        let mut abox = ABox::new();
+        let beetle = abox.individual("beetle");
+        abox.assert_concept(beetle, Concept::atom(p.car));
+        let r = realize(&t, &abox, &p.voc).expect("realizes");
+        let s = r.render(&abox, &p.voc);
+        assert!(s.contains("beetle: car"));
+    }
+}

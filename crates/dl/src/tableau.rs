@@ -1,0 +1,853 @@
+//! Tableau-based satisfiability and subsumption for ALCQ with general
+//! TBoxes.
+//!
+//! The calculus is the standard one: completion trees whose nodes carry
+//! concept labels, expansion rules for ⊓, ⊔, ∃, ∀, ≥, ≤ (with the
+//! *choose* rule and sibling merging for qualified number
+//! restrictions), GCIs internalized as universal constraints added to
+//! every node, and **equality blocking** (a non-root node is blocked
+//! when some ancestor carries exactly the same label — sound for ALCQ
+//! without inverse roles). Nondeterminism (⊔, choose, merge) is
+//! explored by cloning the completion state; fine at the scale of this
+//! reproduction and kept deliberately simple.
+//!
+//! ABox consistency treats named individuals as root nodes under the
+//! unique-name assumption.
+
+use crate::abox::ABox;
+use crate::concept::{Concept, RoleId, Vocabulary};
+use crate::error::{DlError, Result};
+use crate::tbox::TBox;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default node budget per satisfiability call.
+pub const DEFAULT_NODE_BUDGET: usize = 20_000;
+
+/// A tableau reasoner bound to one TBox.
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    /// Universal constraints: internalized GCIs in NNF (only those not
+    /// absorbed below).
+    universal: Vec<Concept>,
+    /// Absorbed axioms `A ⊑ C`: applied lazily when the atom `A`
+    /// appears in a node label (the standard absorption optimization —
+    /// sound and complete, and avoids one disjunction per GCI per
+    /// node).
+    absorbed: BTreeMap<crate::concept::ConceptId, Vec<Concept>>,
+    /// Per-call node budget.
+    budget: usize,
+    /// Memoized satisfiability results keyed by (NNF) input concept.
+    cache: BTreeMap<Concept, bool>,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    label: BTreeSet<Concept>,
+    /// Outgoing edges: (role, child index). Multiple edges to the same
+    /// child are allowed after merges.
+    edges: Vec<(RoleId, usize)>,
+    /// Parent index; `None` for root/ABox nodes (never blocked).
+    parent: Option<usize>,
+    /// Merged-away nodes are dead.
+    alive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct State {
+    nodes: Vec<Node>,
+    /// Pairs of node ids asserted pairwise-distinct (from ≥-rules and
+    /// the unique-name assumption on ABox individuals).
+    distinct: BTreeSet<(usize, usize)>,
+}
+
+impl State {
+    fn new() -> Self {
+        State {
+            nodes: vec![],
+            distinct: BTreeSet::new(),
+        }
+    }
+
+    fn add_node(&mut self, label: BTreeSet<Concept>, parent: Option<usize>) -> usize {
+        self.nodes.push(Node {
+            label,
+            edges: vec![],
+            parent,
+            alive: true,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn mark_distinct(&mut self, a: usize, b: usize) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.distinct.insert((lo, hi));
+    }
+
+    fn are_distinct(&self, a: usize, b: usize) -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.distinct.contains(&(lo, hi))
+    }
+
+    /// r-successors (alive) of node `x`.
+    fn successors(&self, x: usize, r: RoleId) -> Vec<usize> {
+        let mut out: Vec<usize> = self.nodes[x]
+            .edges
+            .iter()
+            .filter(|(er, c)| *er == r && self.nodes[*c].alive)
+            .map(|(_, c)| *c)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Does the label of `x` directly clash?
+    fn has_clash(&self, x: usize) -> bool {
+        let l = &self.nodes[x].label;
+        if l.contains(&Concept::Bottom) {
+            return true;
+        }
+        for c in l {
+            if let Concept::Not(inner) = c {
+                if l.contains(inner) {
+                    return true;
+                }
+            }
+            // ≤n r.C clash: more than n pairwise-distinct r-successors
+            // containing C.
+            if let Concept::AtMost(n, r, cc) = c {
+                let with_c: Vec<usize> = self
+                    .successors(x, *r)
+                    .into_iter()
+                    .filter(|&y| self.nodes[y].label.contains(cc.as_ref()))
+                    .collect();
+                if with_c.len() > *n as usize {
+                    // clash only if no two of them are mergeable
+                    let all_distinct = with_c.iter().enumerate().all(|(i, &a)| {
+                        with_c[i + 1..].iter().all(|&b| self.are_distinct(a, b))
+                    });
+                    if all_distinct {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Equality blocking: `x` is blocked when some strict ancestor has
+    /// an identical label.
+    fn is_blocked(&self, x: usize) -> bool {
+        let mut cur = self.nodes[x].parent;
+        while let Some(a) = cur {
+            if self.nodes[a].label == self.nodes[x].label {
+                return true;
+            }
+            cur = self.nodes[a].parent;
+        }
+        false
+    }
+
+    /// Merge node `b` into node `a` (siblings under the ≤-rule): union
+    /// labels, move edges, rewire incoming edges, kill `b`.
+    fn merge(&mut self, a: usize, b: usize) {
+        let blabel: Vec<Concept> = self.nodes[b].label.iter().cloned().collect();
+        self.nodes[a].label.extend(blabel);
+        let bedges = std::mem::take(&mut self.nodes[b].edges);
+        self.nodes[a].edges.extend(bedges);
+        self.nodes[b].alive = false;
+        // Rewire incoming edges from any node to b → a.
+        for n in &mut self.nodes {
+            for e in &mut n.edges {
+                if e.1 == b {
+                    e.1 = a;
+                }
+            }
+        }
+        // Distinctness constraints transfer.
+        let moved: Vec<(usize, usize)> = self
+            .distinct
+            .iter()
+            .filter(|&&(x, y)| x == b || y == b)
+            .copied()
+            .collect();
+        for (x, y) in moved {
+            let other = if x == b { y } else { x };
+            if other != a {
+                self.mark_distinct(a, other);
+            }
+        }
+    }
+}
+
+/// Result of one rule-application search step.
+enum Outcome {
+    Satisfiable,
+    Clash,
+}
+
+impl Tableau {
+    /// A reasoner for `tbox`. The vocabulary is accepted for symmetry
+    /// with other constructors (names are already interned into ids).
+    pub fn new(tbox: &TBox, _voc: &Vocabulary) -> Self {
+        let mut universal = vec![];
+        let mut absorbed: BTreeMap<crate::concept::ConceptId, Vec<Concept>> = BTreeMap::new();
+        for (l, r) in tbox.gcis() {
+            match l {
+                Concept::Atom(a) => absorbed.entry(a).or_default().push(r.nnf()),
+                _ => universal.push(Concept::or(vec![Concept::not(l), r]).nnf()),
+            }
+        }
+        Tableau {
+            universal,
+            absorbed,
+            budget: DEFAULT_NODE_BUDGET,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// A reasoner with the absorption optimization disabled: every GCI
+    /// — atomic-LHS or not — is internalized as a universal disjunction
+    /// added to every node. Semantically equivalent to [`Tableau::new`]
+    /// but exponentially slower on axiom-rich TBoxes; kept for the
+    /// ablation benchmark (`ablation_absorption`).
+    pub fn new_without_absorption(tbox: &TBox, _voc: &Vocabulary) -> Self {
+        Tableau {
+            universal: tbox.universal_constraints(),
+            absorbed: BTreeMap::new(),
+            budget: DEFAULT_NODE_BUDGET,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Override the node budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Is `c` satisfiable w.r.t. the TBox?
+    pub fn is_satisfiable(&mut self, c: &Concept) -> bool {
+        self.try_is_satisfiable(c)
+            .expect("node budget exceeded; raise with with_budget")
+    }
+
+    /// Fallible satisfiability (reports budget exhaustion).
+    pub fn try_is_satisfiable(&mut self, c: &Concept) -> Result<bool> {
+        let nnf = c.nnf();
+        if let Some(&r) = self.cache.get(&nnf) {
+            return Ok(r);
+        }
+        let mut st = State::new();
+        let mut label: BTreeSet<Concept> = BTreeSet::new();
+        label.insert(nnf.clone());
+        label.extend(self.universal.iter().cloned());
+        st.add_node(label, None);
+        let sat = matches!(self.expand(st, &mut 0)?, Outcome::Satisfiable);
+        self.cache.insert(nnf, sat);
+        Ok(sat)
+    }
+
+    /// Does `sup` subsume `sub` w.r.t. the TBox (`sub ⊑ sup`)?
+    pub fn subsumes(&mut self, sup: &Concept, sub: &Concept) -> bool {
+        !self.is_satisfiable(&Concept::and(vec![
+            sub.clone(),
+            Concept::not(sup.clone()),
+        ]))
+    }
+
+    /// Are `a` and `b` equivalent w.r.t. the TBox?
+    pub fn equivalent(&mut self, a: &Concept, b: &Concept) -> bool {
+        self.subsumes(a, b) && self.subsumes(b, a)
+    }
+
+    /// Is the whole TBox coherent (⊤ satisfiable)?
+    pub fn is_coherent(&mut self) -> bool {
+        self.is_satisfiable(&Concept::Top)
+    }
+
+    /// ABox consistency under the unique-name assumption.
+    pub fn is_consistent(&mut self, abox: &ABox) -> bool {
+        self.try_is_consistent(abox)
+            .expect("node budget exceeded; raise with with_budget")
+    }
+
+    /// Fallible ABox consistency.
+    pub fn try_is_consistent(&mut self, abox: &ABox) -> Result<bool> {
+        let mut st = State::new();
+        let mut index: BTreeMap<u32, usize> = BTreeMap::new();
+        for ind in abox.individuals() {
+            let mut label: BTreeSet<Concept> = BTreeSet::new();
+            label.extend(self.universal.iter().cloned());
+            let id = st.add_node(label, None);
+            index.insert(ind.0, id);
+        }
+        // UNA: all named individuals pairwise distinct.
+        let ids: Vec<usize> = index.values().copied().collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                st.mark_distinct(a, b);
+            }
+        }
+        for (ind, c) in abox.concept_assertions() {
+            let id = index[&ind.0];
+            st.nodes[id].label.insert(c.nnf());
+        }
+        for (a, r, b) in abox.role_assertions() {
+            let (ia, ib) = (index[&a.0], index[&b.0]);
+            st.nodes[ia].edges.push((*r, ib));
+        }
+        Ok(matches!(self.expand(st, &mut 0)?, Outcome::Satisfiable))
+    }
+
+    /// Instance check: does the ABox entail `c(a)`?
+    pub fn is_instance(&mut self, abox: &ABox, a: crate::abox::Individual, c: &Concept) -> bool {
+        let mut extended = abox.clone();
+        extended.assert_concept(a, Concept::not(c.clone()));
+        !self.is_consistent(&extended)
+    }
+
+    // ------------------------------------------------------------------
+    // The expansion loop.
+    // ------------------------------------------------------------------
+
+    /// Iterative depth-first search over completion states (explicit
+    /// stack, so deeply nested nondeterminism cannot overflow the call
+    /// stack).
+    fn expand(&self, st: State, created: &mut usize) -> Result<Outcome> {
+        let mut stack: Vec<State> = vec![st];
+        'states: while let Some(mut st) = stack.pop() {
+            // Deterministic rules to fixpoint, abandoning on clash.
+            loop {
+                if (0..st.nodes.len()).any(|x| st.nodes[x].alive && st.has_clash(x)) {
+                    continue 'states;
+                }
+                if !self.apply_deterministic(&mut st, created)? {
+                    break;
+                }
+            }
+            // Nondeterministic rules: push every alternative.
+            match self.branch_alternatives(&st) {
+                Some(alts) => {
+                    // All alternatives clash-free so far; explore each.
+                    stack.extend(alts);
+                }
+                // Nothing applicable and clash-free: complete.
+                None => return Ok(Outcome::Satisfiable),
+            }
+        }
+        Ok(Outcome::Clash)
+    }
+
+    /// Apply one round of deterministic rules. Returns `true` when
+    /// anything changed.
+    fn apply_deterministic(&self, st: &mut State, created: &mut usize) -> Result<bool> {
+        let n = st.nodes.len();
+        for x in 0..n {
+            if !st.nodes[x].alive {
+                continue;
+            }
+            let label: Vec<Concept> = st.nodes[x].label.iter().cloned().collect();
+            for c in &label {
+                match c {
+                    // absorption: A ∈ L(x) with A ⊑ C absorbed → add C
+                    Concept::Atom(a) => {
+                        if let Some(rhss) = self.absorbed.get(a) {
+                            let mut changed = false;
+                            for rhs in rhss {
+                                changed |= st.nodes[x].label.insert(rhs.clone());
+                            }
+                            if changed {
+                                return Ok(true);
+                            }
+                        }
+                    }
+                    // ⊓-rule
+                    Concept::And(parts) => {
+                        let mut changed = false;
+                        for p in parts {
+                            changed |= st.nodes[x].label.insert(p.clone());
+                        }
+                        if changed {
+                            return Ok(true);
+                        }
+                    }
+                    // ∀-rule
+                    Concept::Forall(r, d) => {
+                        for y in st.successors(x, *r) {
+                            if st.nodes[y].label.insert(d.as_ref().clone()) {
+                                return Ok(true);
+                            }
+                        }
+                    }
+                    // ∃-rule (blocked nodes do not generate)
+                    Concept::Exists(r, d) => {
+                        if st.is_blocked(x) {
+                            continue;
+                        }
+                        let has = st
+                            .successors(x, *r)
+                            .into_iter()
+                            .any(|y| st.nodes[y].label.contains(d.as_ref()));
+                        if !has {
+                            self.spawn_child(st, x, *r, [d.as_ref().clone()], created)?;
+                            return Ok(true);
+                        }
+                    }
+                    // ≥-rule
+                    Concept::AtLeast(k, r, d) => {
+                        if st.is_blocked(x) {
+                            continue;
+                        }
+                        let with_d: Vec<usize> = st
+                            .successors(x, *r)
+                            .into_iter()
+                            .filter(|&y| st.nodes[y].label.contains(d.as_ref()))
+                            .collect();
+                        // Count a maximal pairwise-distinct subset
+                        // conservatively: all current ones are candidates.
+                        if (with_d.len() as u32) < *k {
+                            let mut fresh = vec![];
+                            for _ in with_d.len() as u32..*k {
+                                let id =
+                                    self.spawn_child(st, x, *r, [d.as_ref().clone()], created)?;
+                                fresh.push(id);
+                            }
+                            // New witnesses pairwise distinct, and distinct
+                            // from existing D-successors.
+                            for (i, &a) in fresh.iter().enumerate() {
+                                for &b in &fresh[i + 1..] {
+                                    st.mark_distinct(a, b);
+                                }
+                                for &b in &with_d {
+                                    st.mark_distinct(a, b);
+                                }
+                            }
+                            return Ok(true);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    fn spawn_child(
+        &self,
+        st: &mut State,
+        x: usize,
+        r: RoleId,
+        seed: impl IntoIterator<Item = Concept>,
+        created: &mut usize,
+    ) -> Result<usize> {
+        *created += 1;
+        if *created > self.budget {
+            return Err(DlError::NodeBudgetExceeded {
+                budget: self.budget,
+            });
+        }
+        let mut label: BTreeSet<Concept> = seed.into_iter().collect();
+        label.extend(self.universal.iter().cloned());
+        // ∀-propagation into the new node.
+        let foralls: Vec<Concept> = st.nodes[x]
+            .label
+            .iter()
+            .filter_map(|c| match c {
+                Concept::Forall(rr, d) if *rr == r => Some(d.as_ref().clone()),
+                _ => None,
+            })
+            .collect();
+        label.extend(foralls);
+        let id = st.add_node(label, Some(x));
+        st.nodes[x].edges.push((r, id));
+        Ok(id)
+    }
+
+    /// Find the first applicable nondeterministic rule and return the
+    /// alternative successor states it generates. `None` means no rule
+    /// applies (the state is complete).
+    fn branch_alternatives(&self, st: &State) -> Option<Vec<State>> {
+        for x in 0..st.nodes.len() {
+            if !st.nodes[x].alive {
+                continue;
+            }
+            let label: Vec<Concept> = st.nodes[x].label.iter().cloned().collect();
+            for c in &label {
+                match c {
+                    // ⊔-rule
+                    Concept::Or(parts) => {
+                        if parts.iter().any(|p| st.nodes[x].label.contains(p)) {
+                            continue;
+                        }
+                        let alts = parts
+                            .iter()
+                            .map(|p| {
+                                let mut st2 = st.clone();
+                                st2.nodes[x].label.insert(p.clone());
+                                st2
+                            })
+                            .collect();
+                        return Some(alts);
+                    }
+                    // choose-rule: for ≤n r.D, every r-successor must
+                    // decide D vs ¬D.
+                    Concept::AtMost(_, r, d) => {
+                        let neg = Concept::not(d.as_ref().clone()).nnf();
+                        for y in st.successors(x, *r) {
+                            if !st.nodes[y].label.contains(d.as_ref())
+                                && !st.nodes[y].label.contains(&neg)
+                            {
+                                let alts = [d.as_ref().clone(), neg.clone()]
+                                    .into_iter()
+                                    .map(|choice| {
+                                        let mut st2 = st.clone();
+                                        st2.nodes[y].label.insert(choice);
+                                        st2
+                                    })
+                                    .collect();
+                                return Some(alts);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // merge-rule: an over-full ≤ restriction with mergeable
+        // successors.
+        for x in 0..st.nodes.len() {
+            if !st.nodes[x].alive {
+                continue;
+            }
+            let label: Vec<Concept> = st.nodes[x].label.iter().cloned().collect();
+            for c in &label {
+                if let Concept::AtMost(n, r, d) = c {
+                    let with_d: Vec<usize> = st
+                        .successors(x, *r)
+                        .into_iter()
+                        .filter(|&y| st.nodes[y].label.contains(d.as_ref()))
+                        .collect();
+                    if with_d.len() > *n as usize {
+                        let mut alts = vec![];
+                        for (i, &a) in with_d.iter().enumerate() {
+                            for &b in &with_d[i + 1..] {
+                                if st.are_distinct(a, b) {
+                                    continue;
+                                }
+                                let mut st2 = st.clone();
+                                st2.merge(a, b);
+                                alts.push(st2);
+                            }
+                        }
+                        if !alts.is_empty() {
+                            return Some(alts);
+                        }
+                        // No mergeable pair: this is a clash, caught by
+                        // has_clash in the caller's next pass.
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vocabulary, TBox) {
+        (Vocabulary::new(), TBox::new())
+    }
+
+    #[test]
+    fn top_is_satisfiable_bottom_is_not() {
+        let (voc, tbox) = setup();
+        let mut t = Tableau::new(&tbox, &voc);
+        assert!(t.is_satisfiable(&Concept::Top));
+        assert!(!t.is_satisfiable(&Concept::Bottom));
+    }
+
+    #[test]
+    fn contradiction_is_unsatisfiable() {
+        let (mut voc, tbox) = setup();
+        let a = Concept::atom(voc.concept("A"));
+        let mut t = Tableau::new(&tbox, &voc);
+        assert!(!t.is_satisfiable(&Concept::and(vec![a.clone(), Concept::not(a)])));
+    }
+
+    #[test]
+    fn disjunction_explores_both_branches() {
+        let (mut voc, tbox) = setup();
+        let a = Concept::atom(voc.concept("A"));
+        let b = Concept::atom(voc.concept("B"));
+        let mut t = Tableau::new(&tbox, &voc);
+        // (A ⊔ B) ⊓ ¬A is satisfiable via B.
+        let c = Concept::and(vec![
+            Concept::or(vec![a.clone(), b.clone()]),
+            Concept::not(a.clone()),
+        ]);
+        assert!(t.is_satisfiable(&c));
+        // (A ⊔ A) ⊓ ¬A is not.
+        let d = Concept::and(vec![
+            Concept::or(vec![a.clone(), a.clone()]),
+            Concept::not(a),
+        ]);
+        assert!(!t.is_satisfiable(&d));
+    }
+
+    #[test]
+    fn exists_forall_interaction() {
+        let (mut voc, tbox) = setup();
+        let a = Concept::atom(voc.concept("A"));
+        let r = voc.role("r");
+        let mut t = Tableau::new(&tbox, &voc);
+        // ∃r.A ⊓ ∀r.¬A is unsatisfiable.
+        let c = Concept::and(vec![
+            Concept::exists(r, a.clone()),
+            Concept::forall(r, Concept::not(a.clone())),
+        ]);
+        assert!(!t.is_satisfiable(&c));
+        // ∃r.A ⊓ ∀r.B is satisfiable.
+        let b = Concept::atom(voc.concept("B"));
+        let d = Concept::and(vec![
+            Concept::exists(r, a),
+            Concept::forall(r, b),
+        ]);
+        assert!(t.is_satisfiable(&d));
+    }
+
+    #[test]
+    fn gci_propagates_to_successors() {
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let b = Concept::atom(voc.concept("B"));
+        let r = voc.role("r");
+        let mut tbox = TBox::new();
+        tbox.subsume(a.clone(), b.clone());
+        let mut t = Tableau::new(&tbox, &voc);
+        // ∃r.(A ⊓ ¬B) must be unsatisfiable under A ⊑ B.
+        let c = Concept::exists(r, Concept::and(vec![a.clone(), Concept::not(b.clone())]));
+        assert!(!t.is_satisfiable(&c));
+    }
+
+    #[test]
+    fn subsumption_via_unsatisfiability() {
+        let mut voc = Vocabulary::new();
+        let car = Concept::atom(voc.concept("car"));
+        let vehicle = Concept::atom(voc.concept("vehicle"));
+        let mut tbox = TBox::new();
+        tbox.subsume(car.clone(), vehicle.clone());
+        let mut t = Tableau::new(&tbox, &voc);
+        assert!(t.subsumes(&vehicle, &car));
+        assert!(!t.subsumes(&car, &vehicle));
+        assert!(t.subsumes(&Concept::Top, &car));
+        assert!(t.subsumes(&car, &Concept::Bottom));
+    }
+
+    #[test]
+    fn cyclic_tbox_terminates_via_blocking() {
+        // A ⊑ ∃r.A : an infinite model exists; blocking must find it.
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let r = voc.role("r");
+        let mut tbox = TBox::new();
+        tbox.subsume(a.clone(), Concept::exists(r, a.clone()));
+        let mut t = Tableau::new(&tbox, &voc);
+        assert!(t.is_satisfiable(&a));
+    }
+
+    #[test]
+    fn at_least_at_most_conflict() {
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let r = voc.role("r");
+        let (voc2, tbox) = (voc.clone(), TBox::new());
+        let mut t = Tableau::new(&tbox, &voc2);
+        // ≥3 r.A ⊓ ≤2 r.A is unsatisfiable.
+        let c = Concept::and(vec![
+            Concept::at_least(3, r, a.clone()),
+            Concept::at_most(2, r, a.clone()),
+        ]);
+        assert!(!t.is_satisfiable(&c));
+        // ≥2 r.A ⊓ ≤2 r.A is satisfiable.
+        let d = Concept::exactly(2, r, a.clone());
+        assert!(t.is_satisfiable(&d));
+    }
+
+    #[test]
+    fn merge_resolves_excess_successors() {
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let b = Concept::atom(voc.concept("B"));
+        let r = voc.role("r");
+        let tbox = TBox::new();
+        let mut t = Tableau::new(&tbox, &voc);
+        // ∃r.A ⊓ ∃r.B ⊓ ≤1 r.⊤ is satisfiable by merging the two
+        // successors into one node labeled A ⊓ B.
+        let c = Concept::and(vec![
+            Concept::exists(r, a.clone()),
+            Concept::exists(r, b.clone()),
+            Concept::at_most(1, r, Concept::Top),
+        ]);
+        assert!(t.is_satisfiable(&c));
+        // ...but not if A and B clash.
+        let d = Concept::and(vec![
+            Concept::exists(r, a.clone()),
+            Concept::exists(r, Concept::not(a.clone())),
+            Concept::at_most(1, r, Concept::Top),
+        ]);
+        assert!(!t.is_satisfiable(&d));
+    }
+
+    #[test]
+    fn choose_rule_counts_qualified() {
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let r = voc.role("r");
+        let tbox = TBox::new();
+        let mut t = Tableau::new(&tbox, &voc);
+        // ≥2 r.⊤ ⊓ ∀r.A ⊓ ≤1 r.A : the two successors both get A, and
+        // they must merge — but they are pairwise distinct. Unsat.
+        let c = Concept::and(vec![
+            Concept::at_least(2, r, Concept::Top),
+            Concept::forall(r, a.clone()),
+            Concept::at_most(1, r, a.clone()),
+        ]);
+        assert!(!t.is_satisfiable(&c));
+    }
+
+    #[test]
+    fn paper_wheels_example() {
+        // roadvehicle ⊑ ∃₄has.wheel (exactly 4): a roadvehicle with 5
+        // pairwise-forced wheels is inconsistent.
+        let mut voc = Vocabulary::new();
+        let rv = Concept::atom(voc.concept("roadvehicle"));
+        let wheel = Concept::atom(voc.concept("wheel"));
+        let has = voc.role("has");
+        let mut tbox = TBox::new();
+        tbox.subsume(rv.clone(), Concept::exactly(4, has, wheel.clone()));
+        let mut t = Tableau::new(&tbox, &voc);
+        assert!(t.is_satisfiable(&rv));
+        let five = Concept::and(vec![rv.clone(), Concept::at_least(5, has, wheel.clone())]);
+        assert!(!t.is_satisfiable(&five));
+        let four = Concept::and(vec![rv, Concept::at_least(4, has, wheel)]);
+        assert!(t.is_satisfiable(&four));
+    }
+
+    #[test]
+    fn abox_consistency_and_instance_check() {
+        let mut voc = Vocabulary::new();
+        let man = Concept::atom(voc.concept("Man"));
+        let mortal = Concept::atom(voc.concept("Mortal"));
+        let mut tbox = TBox::new();
+        tbox.subsume(man.clone(), mortal.clone());
+        let mut t = Tableau::new(&tbox, &voc);
+        let mut abox = ABox::new();
+        let socrates = abox.individual("socrates");
+        abox.assert_concept(socrates, man.clone());
+        assert!(t.is_consistent(&abox));
+        assert!(t.is_instance(&abox, socrates, &mortal));
+        assert!(!t.is_instance(&abox, socrates, &Concept::not(mortal.clone())));
+        // Assert the contradiction directly: inconsistent.
+        abox.assert_concept(socrates, Concept::not(mortal));
+        assert!(!t.is_consistent(&abox));
+    }
+
+    #[test]
+    fn abox_role_assertions_feed_forall() {
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let r = voc.role("r");
+        let tbox = TBox::new();
+        let mut t = Tableau::new(&tbox, &voc);
+        let mut abox = ABox::new();
+        let x = abox.individual("x");
+        let y = abox.individual("y");
+        abox.assert_role(x, r, y);
+        abox.assert_concept(x, Concept::forall(r, a.clone()));
+        abox.assert_concept(y, Concept::not(a.clone()));
+        assert!(!t.is_consistent(&abox));
+    }
+
+    #[test]
+    fn incoherent_tbox_detected() {
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let mut tbox = TBox::new();
+        tbox.subsume(Concept::Top, a.clone());
+        tbox.subsume(Concept::Top, Concept::not(a));
+        let mut t = Tableau::new(&tbox, &voc);
+        assert!(!t.is_coherent());
+        let mut empty = Tableau::new(&TBox::new(), &voc);
+        assert!(empty.is_coherent());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        // A ⊑ ≥2 r.A explodes; with a tiny budget we must get an error
+        // rather than loop forever. (Blocking would eventually stop it,
+        // but the doubling tree overflows small budgets first.)
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let b = Concept::atom(voc.concept("B"));
+        let r = voc.role("r");
+        let mut tbox = TBox::new();
+        // Alternate labels so equality blocking bites late.
+        tbox.subsume(
+            a.clone(),
+            Concept::and(vec![
+                Concept::at_least(2, r, b.clone()),
+                Concept::exists(r, b.clone()),
+            ]),
+        );
+        tbox.subsume(b.clone(), Concept::at_least(2, r, a.clone()));
+        let mut t = Tableau::new(&tbox, &voc).with_budget(10);
+        match t.try_is_satisfiable(&a) {
+            Ok(_) => {}             // solved within budget — also fine
+            Err(DlError::NodeBudgetExceeded { .. }) => {} // expected path
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn absorption_ablation_agrees_with_the_default() {
+        // Both configurations must return the same answers; only the
+        // cost differs.
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let b = Concept::atom(voc.concept("B"));
+        let c = Concept::atom(voc.concept("C"));
+        let r = voc.role("r");
+        let mut tbox = TBox::new();
+        tbox.subsume(a.clone(), b.clone());
+        tbox.subsume(b.clone(), Concept::exists(r, c.clone()));
+        tbox.subsume(Concept::exists(r, c.clone()), Concept::not(a.clone()));
+        let mut with = Tableau::new(&tbox, &voc);
+        let mut without = Tableau::new_without_absorption(&tbox, &voc);
+        for query in [
+            a.clone(),
+            b.clone(),
+            Concept::and(vec![a.clone(), b.clone()]),
+            Concept::and(vec![a.clone(), Concept::not(b.clone())]),
+        ] {
+            assert_eq!(
+                with.is_satisfiable(&query),
+                without.is_satisfiable(&query),
+                "configurations disagree on {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_returns_consistent_answers() {
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let tbox = TBox::new();
+        let mut t = Tableau::new(&tbox, &voc);
+        assert!(t.is_satisfiable(&a));
+        assert!(t.is_satisfiable(&a)); // cached
+        assert!(!t.is_satisfiable(&Concept::and(vec![a.clone(), Concept::not(a)])));
+    }
+}

@@ -1,0 +1,121 @@
+//! Contexts as sets of interpretive conventions.
+
+use crate::text::Text;
+use std::collections::BTreeSet;
+
+/// A monotone interpretive rule: when the text shows all of
+/// `requires_cues` and the interpretation so far contains all of
+/// `requires_props`, the reader adds `yields`.
+///
+/// Conventions whose premises include *derived* propositions are what
+/// close the hermeneutic circle: the whole (earlier conclusions)
+/// conditions how further parts are read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Convention {
+    /// Name, for tracing.
+    pub name: String,
+    /// Cues the text must carry.
+    pub requires_cues: BTreeSet<String>,
+    /// Propositions that must already be in the interpretation.
+    pub requires_props: BTreeSet<String>,
+    /// The proposition the rule adds.
+    pub yields: String,
+}
+
+impl Convention {
+    /// Build a convention.
+    pub fn new<'a>(
+        name: &str,
+        requires_cues: impl IntoIterator<Item = &'a str>,
+        requires_props: impl IntoIterator<Item = &'a str>,
+        yields: &str,
+    ) -> Self {
+        Convention {
+            name: name.to_string(),
+            requires_cues: requires_cues.into_iter().map(str::to_string).collect(),
+            requires_props: requires_props.into_iter().map(str::to_string).collect(),
+            yields: yields.to_string(),
+        }
+    }
+
+    /// Is the rule applicable?
+    pub fn applicable(&self, text: &Text, props: &BTreeSet<String>) -> bool {
+        self.requires_cues.iter().all(|c| text.has(c))
+            && self.requires_props.iter().all(|p| props.contains(p))
+    }
+}
+
+/// A context: a named, historically situated bundle of conventions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Context {
+    name: String,
+    conventions: Vec<Convention>,
+}
+
+impl Context {
+    /// An empty context.
+    pub fn new(name: &str) -> Self {
+        Context {
+            name: name.to_string(),
+            conventions: vec![],
+        }
+    }
+
+    /// The context's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a convention (builder style).
+    pub fn with(mut self, c: Convention) -> Self {
+        self.conventions.push(c);
+        self
+    }
+
+    /// Add a convention in place.
+    pub fn add(&mut self, c: Convention) {
+        self.conventions.push(c);
+    }
+
+    /// The conventions.
+    pub fn conventions(&self) -> &[Convention] {
+        &self.conventions
+    }
+
+    /// Number of conventions.
+    pub fn len(&self) -> usize {
+        self.conventions.len()
+    }
+
+    /// True when no conventions.
+    pub fn is_empty(&self) -> bool {
+        self.conventions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicability_checks_cues_and_props() {
+        let c = Convention::new("r", ["cue:a"], ["p"], "q");
+        let mut text = Text::new();
+        text.cue("cue:a");
+        let mut props = BTreeSet::new();
+        assert!(!c.applicable(&text, &props));
+        props.insert("p".to_string());
+        assert!(c.applicable(&text, &props));
+        let empty = Text::new();
+        assert!(!c.applicable(&empty, &props));
+    }
+
+    #[test]
+    fn context_accumulates_conventions() {
+        let ctx = Context::new("door")
+            .with(Convention::new("r1", ["a"], [], "x"))
+            .with(Convention::new("r2", [], ["x"], "y"));
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(ctx.name(), "door");
+    }
+}

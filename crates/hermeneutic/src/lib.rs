@@ -1,0 +1,61 @@
+//! # summa-hermeneutic — situated interpretation and the death of the reader
+//!
+//! The executable form of the last movement of §3. The paper's
+//! example: a sign on a door reading "trespassers will be prosecuted".
+//! None of what makes the sign intelligible — that it is a threat and
+//! not a news report, that "trespasser" refers to the reader, that
+//! authorities back the threat — is *in the text*; it is supplied by a
+//! historically situated context of conventions, discourses and
+//! practices. "The parts of the text can be understood in terms of the
+//! whole context, and the context becomes intelligible by means of the
+//! parts" (Gadamer's hermeneutic circle).
+//!
+//! The model:
+//!
+//! * a [`text::Text`] is a bag of *cues* — words and material features
+//!   (durable plastic, hung on a door, undated);
+//! * a [`context::Context`] is a set of [`context::Convention`]s —
+//!   monotone rules `cues ⊆ T ∧ propositions ⊇ P → add q`;
+//! * [`interpret::interpret`] runs the conventions to fixpoint: rules
+//!   may fire on *derived* propositions, so understanding of the parts
+//!   feeds the whole and back — a terminating hermeneutic circle;
+//! * [`interpret::MeaningVariance`] measures how interpretation varies
+//!   across contexts, and [`interpret::encoding_loss`] measures what
+//!   is lost when one fixed interpretation (an "ontological encoding"
+//!   of the author's intention) replaces situated reading — the
+//!   paper's *death of the reader*, quantified.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use summa_hermeneutic::prelude::*;
+//!
+//! let text = trespassers_sign();
+//! let door = door_of_building_context();
+//! let shop = sign_shop_context();
+//!
+//! let at_door = interpret(&text, &door);
+//! let in_shop = interpret(&text, &shop);
+//! // Same text, different situations, different meanings:
+//! assert!(at_door.contains("threat_addressed_to_reader"));
+//! assert!(!in_shop.contains("threat_addressed_to_reader"));
+//! assert!(in_shop.contains("merchandise_for_sale"));
+//! ```
+
+pub mod context;
+pub mod corpus;
+pub mod interpret;
+pub mod text;
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use crate::context::{Context, Convention};
+    pub use crate::corpus::{
+        all_contexts, door_of_building_context, museum_context, newspaper_context,
+        sign_shop_context, trespassers_sign,
+    };
+    pub use crate::interpret::{
+        encoding_loss, interpret, interpret_traced, Interpretation, MeaningVariance,
+    };
+    pub use crate::text::Text;
+}

@@ -1,0 +1,73 @@
+//! Texts as bags of cues.
+
+use std::collections::BTreeSet;
+
+/// A text: the cues a reader can extract from it — lexical items and
+/// material features alike. The paper stresses that material features
+/// (a durable plastic sign, hung on a door, undated) carry
+/// interpretive weight no less than the words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Text {
+    cues: BTreeSet<String>,
+}
+
+impl Text {
+    /// An empty text.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of cues.
+    pub fn from_cues<'a>(cues: impl IntoIterator<Item = &'a str>) -> Self {
+        Text {
+            cues: cues.into_iter().map(str::to_string).collect(),
+        }
+    }
+
+    /// Add a cue.
+    pub fn cue(&mut self, c: &str) -> &mut Self {
+        self.cues.insert(c.to_string());
+        self
+    }
+
+    /// Does the text carry a cue?
+    pub fn has(&self, c: &str) -> bool {
+        self.cues.contains(c)
+    }
+
+    /// All cues.
+    pub fn cues(&self) -> &BTreeSet<String> {
+        &self.cues
+    }
+
+    /// Number of cues.
+    pub fn len(&self) -> usize {
+        self.cues.len()
+    }
+
+    /// True when the text has no cues.
+    pub fn is_empty(&self) -> bool {
+        self.cues.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cues_are_a_set() {
+        let mut t = Text::new();
+        t.cue("word:trespassers").cue("word:trespassers");
+        assert_eq!(t.len(), 1);
+        assert!(t.has("word:trespassers"));
+        assert!(!t.has("word:welcome"));
+    }
+
+    #[test]
+    fn from_cues_builds_directly() {
+        let t = Text::from_cues(["a", "b"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

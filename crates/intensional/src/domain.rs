@@ -1,0 +1,106 @@
+//! Finite domains of named elements.
+
+use std::fmt;
+
+/// An element of a [`Domain`] (dense id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Elem(pub u32);
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A finite set `D` of named elements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Domain {
+    names: Vec<String>,
+}
+
+impl Domain {
+    /// An empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern an element by name (idempotent).
+    pub fn elem(&mut self, name: &str) -> Elem {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return Elem(i as u32);
+        }
+        self.names.push(name.to_string());
+        Elem((self.names.len() - 1) as u32)
+    }
+
+    /// Look up without interning.
+    pub fn find(&self, name: &str) -> Option<Elem> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Elem(i as u32))
+    }
+
+    /// Name of an element.
+    pub fn name(&self, e: Elem) -> &str {
+        &self.names[e.0 as usize]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All elements.
+    pub fn elems(&self) -> impl Iterator<Item = Elem> + '_ {
+        (0..self.names.len() as u32).map(Elem)
+    }
+
+    /// All n-tuples over the domain (lexicographic order).
+    pub fn tuples(&self, arity: usize) -> Vec<Vec<Elem>> {
+        let mut out = vec![vec![]];
+        for _ in 0..arity {
+            let mut next = Vec::with_capacity(out.len() * self.len());
+            for prefix in &out {
+                for e in self.elems() {
+                    let mut p = prefix.clone();
+                    p.push(e);
+                    next.push(p);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Domain::new();
+        assert_eq!(d.elem("a"), d.elem("a"));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.find("a"), Some(Elem(0)));
+        assert_eq!(d.find("z"), None);
+        assert_eq!(d.name(Elem(0)), "a");
+    }
+
+    #[test]
+    fn tuples_enumerate_cartesian_power() {
+        let mut d = Domain::new();
+        d.elem("a");
+        d.elem("b");
+        assert_eq!(d.tuples(0).len(), 1);
+        assert_eq!(d.tuples(1).len(), 2);
+        assert_eq!(d.tuples(2).len(), 4);
+        assert_eq!(d.tuples(3).len(), 8);
+    }
+}

@@ -1,0 +1,77 @@
+//! # summa-intensional — Guarino's intensional-model framework
+//!
+//! An executable rendering of the formal apparatus of Guarino, *Formal
+//! ontology and information systems* (FOIS 1998), as analyzed in §2 of
+//! *Summa Contra Ontologiam*:
+//!
+//! * a finite [`domain::Domain`] of elements;
+//! * [`relation::Relation`] — extensional n-ary relations, e.g. the
+//!   paper's `[above] = {(a,b), (a,d), (b,d)}` (structure (1));
+//! * [`world::WorldSpace`] — sets of possible worlds, either
+//!   *structured* (carrying primitive state, the paper's blocks world)
+//!   or *opaque* (bare indices with no structure);
+//! * [`world::IntensionalRelation`] — functions `r : W → 2^{Dⁿ}`
+//!   (structure (2)), constructible from a rule over structured worlds
+//!   or by explicit table over opaque ones;
+//! * [`formula`] / [`model`] — a small first-order language `L(V)` with
+//!   finite extensional models and satisfaction checking;
+//! * [`commitment::OntologicalCommitment`] — intensional models mapping
+//!   each world to an extensional model, yielding the *intended model
+//!   set* of a language;
+//! * [`commitment::OntonomyJudgment`] — Guarino's definition of an
+//!   ontonomy ("a set of axioms whose models approximate the intended
+//!   models") made checkable at the paper's three strictness levels:
+//!   exact, approximate, and abstracted-from-language;
+//! * [`circularity`] — the paper's circularity argument as a
+//!   dependency analysis: defining intensional relations requires
+//!   world structure, which is itself extensional.
+//!
+//! ## Quick example — the paper's structures (1)–(3)
+//!
+//! ```
+//! use summa_intensional::prelude::*;
+//!
+//! // Four blocks a, b, c, d.
+//! let mut dom = Domain::new();
+//! let (a, b, _c, d) = (dom.elem("a"), dom.elem("b"), dom.elem("c"), dom.elem("d"));
+//!
+//! // A structured world where a is above b and d, and b is above d.
+//! let mut w0 = BlocksWorld::new();
+//! w0.place(a, 0, 2);
+//! w0.place(b, 0, 1);
+//! w0.place(d, 0, 0);
+//! let space = WorldSpace::structured(vec![w0]);
+//!
+//! // [above] as an intensional relation: a rule over world structure.
+//! let above = IntensionalRelation::aboveness("above", &dom, &space).unwrap();
+//! let ext = above.at(0).unwrap();            // structure (1) for this world
+//! assert!(ext.contains(&[a, b]));
+//! assert!(ext.contains(&[a, d]));
+//! assert!(ext.contains(&[b, d]));
+//! assert_eq!(ext.len(), 3);
+//! ```
+
+pub mod circularity;
+pub mod commitment;
+pub mod designation;
+pub mod domain;
+pub mod error;
+pub mod formula;
+pub mod model;
+pub mod relation;
+pub mod world;
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use crate::circularity::{CircularityReport, DependencyGraph, Notion};
+    pub use crate::commitment::{AdmissionLevel, OntologicalCommitment, OntonomyJudgment};
+    pub use crate::designation::{
+        compare_descriptions, husserl_example, Description, DesignationReport,
+    };
+    pub use crate::domain::{Domain, Elem};
+    pub use crate::error::IntensionalError;
+    pub use crate::formula::{Formula, Language, TermRef};
+    pub use crate::model::{enumerate_models, ExtModel};
+    pub use crate::relation::Relation;
+    pub use crate::world::{BlocksWorld, IntensionalRelation, World, WorldSpace};
+}

@@ -1,0 +1,341 @@
+//! Property-based tests for the intensional-model framework.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use summa_intensional::formula::PredId;
+use summa_intensional::prelude::*;
+
+// ---------------------------------------------------------------------
+// Random sentences over one unary and one binary predicate with two
+// constants, evaluated over a two-element domain.
+// ---------------------------------------------------------------------
+
+fn tiny_language() -> (Language, Domain) {
+    let mut lang = Language::new();
+    lang.predicate("p", 1);
+    lang.predicate("q", 2);
+    lang.constant("a");
+    lang.constant("b");
+    let mut dom = Domain::new();
+    dom.elem("e0");
+    dom.elem("e1");
+    (lang, dom)
+}
+
+fn arb_term() -> impl Strategy<Value = TermRef> {
+    prop_oneof![
+        Just(TermRef::var("x")),
+        Just(TermRef::var("y")),
+        (0u32..2).prop_map(|i| TermRef::Const(summa_intensional::formula::ConstId(i))),
+    ]
+}
+
+fn arb_formula(depth: usize) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        arb_term().prop_map(|t| Formula::Pred(PredId(0), vec![t])),
+        (arb_term(), arb_term()).prop_map(|(s, t)| Formula::Pred(PredId(1), vec![s, t])),
+        (arb_term(), arb_term()).prop_map(|(s, t)| Formula::Eq(s, t)),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = arb_formula(depth - 1);
+        prop_oneof![
+            leaf,
+            inner.clone().prop_map(Formula::not),
+            proptest::collection::vec(arb_formula(depth - 1), 2..3).prop_map(Formula::And),
+            proptest::collection::vec(arb_formula(depth - 1), 2..3).prop_map(Formula::Or),
+            (arb_formula(depth - 1), arb_formula(depth - 1))
+                .prop_map(|(a, b)| Formula::implies(a, b)),
+            inner.clone().prop_map(|f| Formula::forall("x", f)),
+            inner.prop_map(|f| Formula::exists("y", f)),
+        ]
+        .boxed()
+    }
+}
+
+/// Close a formula by quantifying its free variables.
+fn close(f: Formula) -> Formula {
+    let mut out = f.clone();
+    for v in f.free_vars() {
+        out = Formula::forall(&v, out);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn closing_yields_sentences(f in arb_formula(2)) {
+        prop_assert!(close(f).is_sentence());
+    }
+
+    #[test]
+    fn negation_flips_satisfaction(f in arb_formula(2)) {
+        let (lang, dom) = tiny_language();
+        let sentence = close(f);
+        let models = enumerate_models(&lang, &dom, 1_000_000).expect("small space");
+        for m in models.iter().take(16) {
+            let pos = m.satisfies(&dom, &sentence).expect("evaluates");
+            let neg = m
+                .satisfies(&dom, &Formula::not(sentence.clone()))
+                .expect("evaluates");
+            prop_assert_eq!(pos, !neg);
+        }
+    }
+
+    #[test]
+    fn de_morgan_laws_hold(a in arb_formula(1), b in arb_formula(1)) {
+        let (lang, dom) = tiny_language();
+        let lhs = close(Formula::not(Formula::And(vec![a.clone(), b.clone()])));
+        let rhs = close(Formula::Or(vec![Formula::not(a), Formula::not(b)]));
+        let models = enumerate_models(&lang, &dom, 1_000_000).expect("small space");
+        for m in models.iter().take(16) {
+            prop_assert_eq!(
+                m.satisfies(&dom, &lhs).expect("evaluates"),
+                m.satisfies(&dom, &rhs).expect("evaluates")
+            );
+        }
+    }
+
+    #[test]
+    fn implication_agrees_with_disjunction(a in arb_formula(1), b in arb_formula(1)) {
+        let (lang, dom) = tiny_language();
+        let imp = close(Formula::implies(a.clone(), b.clone()));
+        let dis = close(Formula::Or(vec![Formula::not(a), b]));
+        let models = enumerate_models(&lang, &dom, 1_000_000).expect("small space");
+        for m in models.iter().take(16) {
+            prop_assert_eq!(
+                m.satisfies(&dom, &imp).expect("evaluates"),
+                m.satisfies(&dom, &dis).expect("evaluates")
+            );
+        }
+    }
+
+    #[test]
+    fn tautologies_hold_everywhere(_seed in 0u8..8) {
+        let (lang, dom) = tiny_language();
+        let models = enumerate_models(&lang, &dom, 1_000_000).expect("small space");
+        let t = Formula::tautology();
+        for m in &models {
+            prop_assert!(m.satisfies(&dom, &t).expect("evaluates"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Intensional relations over enumerated blocks worlds.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn aboveness_is_a_strict_order_in_every_world(
+        n_blocks in 1usize..4,
+        cols in 1i32..3,
+        heights in 1i32..4,
+    ) {
+        let mut dom = Domain::new();
+        let blocks: Vec<Elem> = (0..n_blocks)
+            .map(|i| dom.elem(&format!("b{i}")))
+            .collect();
+        prop_assume!((cols * heights) as usize >= n_blocks);
+        let space = WorldSpace::enumerate_blocks(&blocks, cols, heights);
+        let above = IntensionalRelation::aboveness("above", &dom, &space)
+            .expect("structured worlds");
+        for w in 0..space.len() {
+            let ext = above.at(w).expect("world exists");
+            for &a in &blocks {
+                prop_assert!(!ext.contains(&[a, a]));
+                for &b in &blocks {
+                    for &c in &blocks {
+                        if ext.contains(&[a, b]) && ext.contains(&[b, c]) {
+                            prop_assert!(ext.contains(&[a, c]), "transitivity");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn world_count_matches_falling_factorial(
+        n_blocks in 1usize..4,
+        cols in 1i32..3,
+        heights in 1i32..3,
+    ) {
+        let cells = (cols * heights) as usize;
+        prop_assume!(cells >= n_blocks);
+        let mut dom = Domain::new();
+        let blocks: Vec<Elem> = (0..n_blocks)
+            .map(|i| dom.elem(&format!("b{i}")))
+            .collect();
+        let space = WorldSpace::enumerate_blocks(&blocks, cols, heights);
+        // Placements of k distinguishable blocks into distinct cells:
+        // cells! / (cells - k)!.
+        let expected: usize = (cells - n_blocks + 1..=cells).product();
+        prop_assert_eq!(space.len(), expected);
+    }
+
+    #[test]
+    fn stipulated_tables_round_trip(n_worlds in 1usize..5) {
+        let mut dom = Domain::new();
+        let a = dom.elem("a");
+        let b = dom.elem("b");
+        let space = WorldSpace::opaque(n_worlds);
+        let tables: Vec<Relation> = (0..n_worlds)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Relation::from_tuples(2, vec![vec![a, b]]).expect("arity 2")
+                } else {
+                    Relation::new(2)
+                }
+            })
+            .collect();
+        let rel = IntensionalRelation::from_table("r", 2, &space, tables.clone())
+            .expect("lengths match");
+        for (i, t) in tables.iter().enumerate() {
+            prop_assert_eq!(rel.at(i).expect("in range"), t);
+        }
+        prop_assert_eq!(rel.is_rigid(), n_worlds == 1 || tables.windows(2).all(|w| w[0] == w[1]));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model enumeration combinatorics.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn enumeration_count_formula(n_consts in 0usize..3, n_unary in 0usize..2, d in 1usize..3) {
+        let mut lang = Language::new();
+        for i in 0..n_consts {
+            lang.constant(&format!("c{i}"));
+        }
+        for i in 0..n_unary {
+            lang.predicate(&format!("p{i}"), 1);
+        }
+        let mut dom = Domain::new();
+        for i in 0..d {
+            dom.elem(&format!("e{i}"));
+        }
+        let models = enumerate_models(&lang, &dom, 10_000_000).expect("bounded");
+        let expected = d.pow(n_consts as u32) * 2usize.pow((d * n_unary) as u32);
+        prop_assert_eq!(models.len(), expected);
+    }
+
+    #[test]
+    fn satisfying_models_closed_under_conjunction_split(seed in 0u8..16) {
+        let (lang, dom) = tiny_language();
+        let _ = seed;
+        let env_f = |name: &str| {
+            let mut l = lang.clone();
+            let p = l.predicate(name, 1);
+            Formula::forall("x", Formula::Pred(p, vec![TermRef::var("x")]))
+        };
+        let f1 = env_f("p");
+        let both = Formula::And(vec![f1.clone(), Formula::tautology()]);
+        let models = enumerate_models(&lang, &dom, 1_000_000).expect("small");
+        for m in models.iter().take(16) {
+            let mut empty_env = BTreeMap::new();
+            let a = m.eval(&dom, &f1, &mut empty_env).expect("evaluates");
+            let c = m.satisfies(&dom, &both).expect("evaluates");
+            prop_assert_eq!(a, c);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Designation vs signification.
+// ---------------------------------------------------------------------
+
+use summa_intensional::designation::{compare_descriptions, Description};
+use summa_intensional::model::ExtModel;
+use summa_intensional::relation::Relation;
+
+/// Random worlds over a 3-element domain with one unary predicate:
+/// the extension is given by a 3-bit mask.
+fn world_from_mask(p: PredId, elems: &[Elem], mask: u8) -> ExtModel {
+    let mut m = ExtModel::new();
+    let tuples: Vec<Vec<Elem>> = elems
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, &e)| vec![e])
+        .collect();
+    m.set_pred(p, Relation::from_tuples(1, tuples).expect("arity 1"));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn a_description_co_designates_and_co_signifies_with_itself(
+        masks in proptest::collection::vec(0u8..8, 1..4),
+        actual_idx in 0usize..4,
+    ) {
+        let mut lang = Language::new();
+        let p = lang.predicate("p", 1);
+        let mut dom = Domain::new();
+        let elems: Vec<Elem> = (0..3).map(|i| dom.elem(&format!("e{i}"))).collect();
+        let worlds: Vec<ExtModel> =
+            masks.iter().map(|&m| world_from_mask(p, &elems, m)).collect();
+        let actual = actual_idx % worlds.len();
+        let d = Description::new(
+            "the p",
+            "x",
+            Formula::Pred(p, vec![TermRef::var("x")]),
+        )
+        .expect("one free var");
+        let r = compare_descriptions(&dom, &worlds, actual, &d, &d).expect("valid");
+        prop_assert!(r.same_signification, "self-comparison must co-signify");
+        // Co-designation holds exactly when the actual world has a
+        // unique satisfier.
+        let unique = masks[actual].count_ones() == 1;
+        prop_assert_eq!(r.co_designate, unique);
+    }
+
+    #[test]
+    fn same_signification_implies_co_designation_when_defined(
+        masks in proptest::collection::vec(0u8..8, 2..4),
+    ) {
+        let mut lang = Language::new();
+        let p = lang.predicate("p", 1);
+        let q = lang.predicate("q", 1);
+        let mut dom = Domain::new();
+        let elems: Vec<Elem> = (0..3).map(|i| dom.elem(&format!("e{i}"))).collect();
+        // Two descriptions over two predicates whose extensions are the
+        // SAME masks per world: significations must coincide, and in
+        // any world with a unique satisfier they co-designate.
+        let worlds: Vec<ExtModel> = masks
+            .iter()
+            .map(|&mask| {
+                let mut m = world_from_mask(p, &elems, mask);
+                let tuples: Vec<Vec<Elem>> = elems
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &e)| vec![e])
+                    .collect();
+                m.set_pred(q, Relation::from_tuples(1, tuples).expect("arity 1"));
+                m
+            })
+            .collect();
+        let dp = Description::new("the p", "x", Formula::Pred(p, vec![TermRef::var("x")]))
+            .expect("one free var");
+        let dq = Description::new("the q", "x", Formula::Pred(q, vec![TermRef::var("x")]))
+            .expect("one free var");
+        for actual in 0..worlds.len() {
+            let r = compare_descriptions(&dom, &worlds, actual, &dp, &dq).expect("valid");
+            prop_assert!(r.same_signification);
+            if masks[actual].count_ones() == 1 {
+                prop_assert!(r.co_designate);
+            }
+        }
+    }
+}

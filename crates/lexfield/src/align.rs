@@ -1,0 +1,189 @@
+//! Cross-language alignment of lexical fields.
+//!
+//! The quantitative face of the paper's anti-atomist argument: if
+//! concepts were atoms nomologically locked to properties, translation
+//! would be a bijection between word inventories. The alignment
+//! matrix of two real fields is many-to-many instead.
+
+use crate::field::{Item, LexicalField};
+use crate::space::SemanticSpace;
+
+/// The alignment of a source field onto a target field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alignment {
+    /// `overlap[i][j]` = |range(i) ∩ range(j)| / |range(i)| — the
+    /// fraction of source item `i`'s denotation covered by target item
+    /// `j`.
+    overlap: Vec<Vec<f64>>,
+    source_names: Vec<String>,
+    target_names: Vec<String>,
+}
+
+impl Alignment {
+    /// Compute the alignment of `source` onto `target` (both over the
+    /// same space).
+    pub fn between(_space: &SemanticSpace, source: &LexicalField, target: &LexicalField) -> Self {
+        let mut overlap = vec![];
+        for i in source.items() {
+            let ri = source.range(i);
+            let mut row = vec![];
+            for j in target.items() {
+                let rj = target.range(j);
+                let inter = ri.intersection(rj).count();
+                row.push(if ri.is_empty() {
+                    0.0
+                } else {
+                    inter as f64 / ri.len() as f64
+                });
+            }
+            overlap.push(row);
+        }
+        Alignment {
+            overlap,
+            source_names: source.items().map(|i| source.name(i).to_string()).collect(),
+            target_names: target.items().map(|j| target.name(j).to_string()).collect(),
+        }
+    }
+
+    /// The overlap fraction for a (source, target) pair.
+    pub fn fraction(&self, s: Item, t: Item) -> f64 {
+        self.overlap[s.0 as usize][t.0 as usize]
+    }
+
+    /// Target items with non-zero overlap for a source item — its
+    /// translation candidates.
+    pub fn targets_of(&self, s: Item) -> Vec<Item> {
+        self.overlap[s.0 as usize]
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0.0)
+            .map(|(j, _)| Item(j as u32))
+            .collect()
+    }
+
+    /// Translation ambiguity of a source item: number of candidates
+    /// minus one (0 = unambiguous).
+    pub fn ambiguity(&self, s: Item) -> usize {
+        self.targets_of(s).len().saturating_sub(1)
+    }
+
+    /// Total ambiguity over all source items.
+    pub fn total_ambiguity(&self) -> usize {
+        (0..self.overlap.len() as u32)
+            .map(|i| self.ambiguity(Item(i)))
+            .sum()
+    }
+
+    /// Is the alignment a clean bijection (every source item exactly
+    /// covered by exactly one target item and vice versa)?
+    pub fn is_bijective(&self) -> bool {
+        if self.overlap.len() != self.target_names.len() {
+            return false;
+        }
+        // Each row must be a unit vector with a 1.0 entry, and each
+        // column must contain exactly one non-zero.
+        let n = self.overlap.len();
+        let mut col_used = vec![0usize; n];
+        for row in &self.overlap {
+            let nonzero: Vec<(usize, f64)> = row
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(_, f)| *f > 0.0)
+                .collect();
+            match nonzero.as_slice() {
+                [(j, f)] if (*f - 1.0).abs() < 1e-9 => col_used[*j] += 1,
+                _ => return false,
+            }
+        }
+        col_used.iter().all(|&c| c == 1)
+    }
+
+    /// Render the matrix with names, one row per source item.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:>12}", ""));
+        for t in &self.target_names {
+            out.push_str(&format!("{t:>12}"));
+        }
+        out.push('\n');
+        for (i, s) in self.source_names.iter().enumerate() {
+            out.push_str(&format!("{s:>12}"));
+            for f in &self.overlap[i] {
+                if *f == 0.0 {
+                    out.push_str(&format!("{:>12}", "·"));
+                } else {
+                    out.push_str(&format!("{:>12.2}", f));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SemanticSpace;
+
+    fn setup() -> (SemanticSpace, LexicalField, LexicalField) {
+        let mut s = SemanticSpace::new();
+        let a = s.point("a");
+        let b = s.point("b");
+        let c = s.point("c");
+        let mut en = LexicalField::new("en");
+        en.item("x", [a, b]);
+        en.item("y", [c]);
+        let mut it = LexicalField::new("it");
+        it.item("u", [a]);
+        it.item("v", [b, c]);
+        (s, en, it)
+    }
+
+    #[test]
+    fn overlap_fractions() {
+        let (s, en, it) = setup();
+        let al = Alignment::between(&s, &en, &it);
+        let x = en.item_by_name("x").unwrap();
+        let u = it.item_by_name("u").unwrap();
+        let v = it.item_by_name("v").unwrap();
+        assert!((al.fraction(x, u) - 0.5).abs() < 1e-9);
+        assert!((al.fraction(x, v) - 0.5).abs() < 1e-9);
+        assert_eq!(al.targets_of(x), vec![u, v]);
+        assert_eq!(al.ambiguity(x), 1);
+    }
+
+    #[test]
+    fn mismatched_fields_are_not_bijective() {
+        let (s, en, it) = setup();
+        let al = Alignment::between(&s, &en, &it);
+        assert!(!al.is_bijective());
+        assert!(al.total_ambiguity() > 0);
+    }
+
+    #[test]
+    fn identical_fields_are_bijective() {
+        let mut s = SemanticSpace::new();
+        let a = s.point("a");
+        let b = s.point("b");
+        let mut f1 = LexicalField::new("L1");
+        f1.item("x", [a]);
+        f1.item("y", [b]);
+        let mut f2 = LexicalField::new("L2");
+        f2.item("u", [a]);
+        f2.item("v", [b]);
+        let al = Alignment::between(&s, &f1, &f2);
+        assert!(al.is_bijective());
+        assert_eq!(al.total_ambiguity(), 0);
+    }
+
+    #[test]
+    fn render_shows_matrix() {
+        let (s, en, it) = setup();
+        let al = Alignment::between(&s, &en, &it);
+        let out = al.render();
+        assert!(out.contains('u') && out.contains('x') && out.contains("0.50"));
+        assert!(out.contains('·'));
+    }
+}

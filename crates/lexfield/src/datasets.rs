@@ -1,0 +1,218 @@
+//! The paper's two lexical-field datasets, encoded as denotation
+//! ranges over discretized semantic spaces.
+//!
+//! The encodings follow the paper's prose and schemas directly; each
+//! range records which situations a word is (by the paper's account)
+//! used for. What the experiments test is the *overlap structure* of
+//! the ranges — exactly what the typeset schemas depict.
+
+use crate::field::LexicalField;
+use crate::space::SemanticSpace;
+
+/// The doorknob/doorhandle vs pomello/maniglia schema.
+///
+/// Space points are kinds of door hardware; the paper:
+/// "while pomelli are, in general, doorknobs, some of the things that
+/// English speakers call doorknobs would qualify, for the Italian, as
+/// maniglie."
+pub fn doorknob_dataset() -> (SemanticSpace, LexicalField, LexicalField) {
+    let mut s = SemanticSpace::new();
+    let round_knob = s.point("round_knob");
+    let ornate_knob = s.point("ornate_knob");
+    // The contested region: knob-like hardware that turns like a
+    // handle — a doorknob to the English, a maniglia to the Italian.
+    let thumb_latch_knob = s.point("thumb_latch_knob");
+    let lever = s.point("lever_handle");
+    let bar_pull = s.point("bar_pull");
+
+    let mut en = LexicalField::new("English");
+    en.item("doorknob", [round_knob, ornate_knob, thumb_latch_knob]);
+    en.item("doorhandle", [lever, bar_pull]);
+
+    let mut it = LexicalField::new("Italian");
+    it.item("pomello", [round_knob, ornate_knob]);
+    it.item("maniglia", [thumb_latch_knob, lever, bar_pull]);
+
+    (s, en, it)
+}
+
+/// Handles into the three age-adjective fields.
+#[derive(Debug, Clone)]
+pub struct AgeFields {
+    /// The shared semantic space of age-predication situations.
+    pub space: SemanticSpace,
+    /// Italian: vecchio, anziano, antico.
+    pub italian: LexicalField,
+    /// Spanish: viejo, añejo, anciano, mayor, antiguo.
+    pub spanish: LexicalField,
+    /// French: vieux, âgé, ancien, antique.
+    pub french: LexicalField,
+}
+
+/// The adjectives-of-old-age table (Italian/Spanish/French), after
+/// Geckeler as adapted by the paper:
+///
+/// ```text
+/// Italian   Spanish   French
+///           añejo
+/// vecchio   viejo     vieux
+/// anziano   anciano   âgé
+///           mayor
+///           antiguo   ancien
+/// antico    antique
+/// ```
+pub fn age_adjectives_dataset() -> AgeFields {
+    let mut s = SemanticSpace::new();
+    let old_thing = s.point("old_thing");
+    let old_person = s.point("old_person");
+    let old_person_respectful = s.point("old_person_respectful");
+    let seniority = s.point("seniority_in_function");
+    let aged_beverage = s.point("aged_beverage_appreciative");
+    let antique_obj = s.point("antique_object");
+
+    // Italian: vecchio for things and persons; anziano "applied mainly
+    // to people … broader meaning … 'il sergente anziano'" (persons,
+    // respectful use, seniority); antico for antiques.
+    let mut it = LexicalField::new("Italian");
+    it.item("vecchio", [old_thing, old_person, aged_beverage]);
+    it.item("anziano", [old_person, old_person_respectful, seniority]);
+    it.item("antico", [antique_obj]);
+
+    // Spanish: viejo for things and persons; añejo "an appreciative
+    // form used mainly for alcoholic beverages"; anciano for persons;
+    // mayor "a softer and more respectful form"; antiguo for seniority
+    // ("the Spanish would use antiguo") and antiques.
+    let mut es = LexicalField::new("Spanish");
+    es.item("viejo", [old_thing, old_person]);
+    es.item("añejo", [aged_beverage]);
+    es.item("anciano", [old_person]);
+    es.item("mayor", [old_person_respectful]);
+    es.item("antiguo", [seniority, antique_obj]);
+
+    // French: vieux for things and persons; âgé for persons (and the
+    // respectful register); ancien for seniority ("the French
+    // [would use] ancien"); antique for antiques.
+    let mut fr = LexicalField::new("French");
+    fr.item("vieux", [old_thing, old_person, aged_beverage]);
+    fr.item("âgé", [old_person, old_person_respectful]);
+    fr.item("ancien", [seniority]);
+    fr.item("antique", [antique_obj]);
+
+    AgeFields {
+        space: s,
+        italian: it,
+        spanish: es,
+        french: fr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::Alignment;
+    use crate::field::same_division;
+
+    #[test]
+    fn doorknob_schema_overlap_structure() {
+        let (s, en, it) = doorknob_dataset();
+        // pomelli are, in general, doorknobs:
+        let pomello = it.item_by_name("pomello").unwrap();
+        let doorknob = en.item_by_name("doorknob").unwrap();
+        let it_to_en = Alignment::between(&s, &it, &en);
+        assert!((it_to_en.fraction(pomello, doorknob) - 1.0).abs() < 1e-9);
+        // …but some doorknobs qualify as maniglie:
+        let en_to_it = Alignment::between(&s, &en, &it);
+        let maniglia = it.item_by_name("maniglia").unwrap();
+        assert!(en_to_it.fraction(doorknob, maniglia) > 0.0);
+        assert!(en_to_it.fraction(doorknob, maniglia) < 1.0);
+    }
+
+    #[test]
+    fn doorknob_translation_is_not_bijective() {
+        let (s, en, it) = doorknob_dataset();
+        assert!(!Alignment::between(&s, &en, &it).is_bijective());
+        assert!(!same_division(&s, &en, &it));
+    }
+
+    #[test]
+    fn age_table_every_pairing_is_many_to_many() {
+        let f = age_adjectives_dataset();
+        for (a, b) in [
+            (&f.italian, &f.spanish),
+            (&f.italian, &f.french),
+            (&f.spanish, &f.french),
+        ] {
+            let al = Alignment::between(&f.space, a, b);
+            assert!(
+                !al.is_bijective(),
+                "{} → {} must not be word-for-word",
+                a.language(),
+                b.language()
+            );
+        }
+    }
+
+    #[test]
+    fn anejo_has_no_italian_word_of_its_own() {
+        let f = age_adjectives_dataset();
+        let anejo = f.spanish.item_by_name("añejo").unwrap();
+        let al = Alignment::between(&f.space, &f.spanish, &f.italian);
+        // añejo's range falls wholly inside vecchio's: no dedicated
+        // Italian counterpart.
+        let targets = al.targets_of(anejo);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(f.italian.name(targets[0]), "vecchio");
+    }
+
+    #[test]
+    fn anziano_spans_three_spanish_words() {
+        let f = age_adjectives_dataset();
+        let anziano = f.italian.item_by_name("anziano").unwrap();
+        let al = Alignment::between(&f.space, &f.italian, &f.spanish);
+        let names: Vec<&str> = al
+            .targets_of(anziano)
+            .iter()
+            .map(|&t| f.spanish.name(t))
+            .collect();
+        // anziano covers persons (anciano/viejo), the respectful use
+        // (mayor), and seniority (antiguo).
+        assert!(names.contains(&"anciano"));
+        assert!(names.contains(&"mayor"));
+        assert!(names.contains(&"antiguo"));
+    }
+
+    #[test]
+    fn seniority_goes_to_antiguo_and_ancien() {
+        let f = age_adjectives_dataset();
+        let p = f.space.find("seniority_in_function").unwrap();
+        let es_words: Vec<&str> = f
+            .spanish
+            .words_for(p)
+            .iter()
+            .map(|&i| f.spanish.name(i))
+            .collect();
+        assert_eq!(es_words, vec!["antiguo"]);
+        let fr_words: Vec<&str> = f
+            .french
+            .words_for(p)
+            .iter()
+            .map(|&i| f.french.name(i))
+            .collect();
+        assert_eq!(fr_words, vec!["ancien"]);
+        let it_words: Vec<&str> = f
+            .italian
+            .words_for(p)
+            .iter()
+            .map(|&i| f.italian.name(i))
+            .collect();
+        assert_eq!(it_words, vec!["anziano"]);
+    }
+
+    #[test]
+    fn no_pair_of_languages_divides_the_field_alike() {
+        let f = age_adjectives_dataset();
+        assert!(!same_division(&f.space, &f.italian, &f.spanish));
+        assert!(!same_division(&f.space, &f.italian, &f.french));
+        assert!(!same_division(&f.space, &f.spanish, &f.french));
+    }
+}

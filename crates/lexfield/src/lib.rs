@@ -1,0 +1,55 @@
+//! # summa-lexfield — lexical fields and cross-language alignment
+//!
+//! The executable form of §3's argument against conceptual atomism.
+//! The paper's two examples:
+//!
+//! * **doorknob/doorhandle vs pomello/maniglia** — "the areas covered
+//!   by these concepts are not the same: while pomelli are, in
+//!   general, doorknobs, some of the things that English speakers call
+//!   doorknobs would qualify, for the Italian, as maniglie";
+//! * **adjectives of old age** in Italian/Spanish/French — the
+//!   vecchio/viejo/vieux … antico/antiguo/antique correspondence
+//!   table, with añejo and mayor having no counterpart.
+//!
+//! Following structural semantics (Geckeler/Coseriu, the paper's
+//! source \[5\]), a *semantic space* is a finite set of denotation
+//! points; a language's *lexical field* covers the space with word
+//! ranges; and a concept is a *division* of the field, not a
+//! free-standing atom. Different languages divide the same space
+//! differently; the measurable consequences —
+//! many-to-many alignment matrices, positive translation ambiguity,
+//! boundary mismatch — are what the atomist account (word ↦ concept ↦
+//! property, independent of the rest of the language) cannot explain:
+//! "it appears, in other words, that we can't give a sensible
+//! explanation of the difference between doorknobs and pomelli unless
+//! we consider them differentially and oppositionally in the context
+//! of their respective languages."
+//!
+//! ## Quick example
+//!
+//! ```
+//! use summa_lexfield::prelude::*;
+//!
+//! let (space, english, italian) = doorknob_dataset();
+//! let alignment = Alignment::between(&space, &english, &italian);
+//! // No word-for-word translation exists:
+//! assert!(!alignment.is_bijective());
+//! // "doorknob" maps onto BOTH pomello and maniglia:
+//! let dk = english.item_by_name("doorknob").unwrap();
+//! assert_eq!(alignment.targets_of(dk).len(), 2);
+//! ```
+
+pub mod align;
+pub mod atomism;
+pub mod datasets;
+pub mod field;
+pub mod space;
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use crate::align::Alignment;
+    pub use crate::atomism::{atomist_translation, AtomismReport};
+    pub use crate::datasets::{age_adjectives_dataset, doorknob_dataset, AgeFields};
+    pub use crate::field::{Item, LexicalField};
+    pub use crate::space::{Point, SemanticSpace};
+}

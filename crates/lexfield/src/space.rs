@@ -1,0 +1,88 @@
+//! Finite semantic spaces.
+
+use std::fmt;
+
+/// A point of a semantic space: one discriminable denotation
+/// situation (dense id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point(pub u32);
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A finite semantic space: the set of denotation points a field
+/// divides.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SemanticSpace {
+    labels: Vec<String>,
+}
+
+impl SemanticSpace {
+    /// An empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a point by descriptive label (idempotent).
+    pub fn point(&mut self, label: &str) -> Point {
+        if let Some(i) = self.labels.iter().position(|l| l == label) {
+            return Point(i as u32);
+        }
+        self.labels.push(label.to_string());
+        Point((self.labels.len() - 1) as u32)
+    }
+
+    /// Look up without interning.
+    pub fn find(&self, label: &str) -> Option<Point> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| Point(i as u32))
+    }
+
+    /// The label of a point.
+    pub fn label(&self, p: Point) -> &str {
+        &self.labels[p.0 as usize]
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the space has no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// All points.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.labels.len() as u32).map(Point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut s = SemanticSpace::new();
+        assert_eq!(s.point("round_knob"), s.point("round_knob"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.label(Point(0)), "round_knob");
+        assert_eq!(s.find("lever"), None);
+    }
+
+    #[test]
+    fn points_enumerate_in_order() {
+        let mut s = SemanticSpace::new();
+        let a = s.point("a");
+        let b = s.point("b");
+        let all: Vec<Point> = s.points().collect();
+        assert_eq!(all, vec![a, b]);
+    }
+}

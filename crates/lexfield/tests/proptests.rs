@@ -1,0 +1,124 @@
+//! Property-based tests for lexical fields and alignment.
+
+use proptest::prelude::*;
+use summa_lexfield::field::same_division;
+use summa_lexfield::prelude::*;
+
+/// A random space of `n` points and a random field over it whose
+/// items' ranges are given by bitmasks (empty ranges filtered out).
+fn arb_space_and_field(lang: &'static str) -> impl Strategy<Value = (SemanticSpace, LexicalField)> {
+    (2usize..7).prop_flat_map(move |n| {
+        proptest::collection::vec(1u32..(1 << n), 1..5).prop_map(move |masks| {
+            let mut space = SemanticSpace::new();
+            let pts: Vec<Point> = (0..n).map(|i| space.point(&format!("pt{i}"))).collect();
+            let mut field = LexicalField::new(lang);
+            for (w, mask) in masks.iter().enumerate() {
+                let range: Vec<Point> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &p)| p)
+                    .collect();
+                field.item(&format!("w{w}"), range);
+            }
+            (space, field)
+        })
+    })
+}
+
+/// A partition field over the same space: every point covered by
+/// exactly one item.
+fn partition_field(space: &SemanticSpace, k: usize, lang: &str) -> LexicalField {
+    let mut f = LexicalField::new(lang);
+    let pts: Vec<Point> = space.points().collect();
+    for (i, chunk) in pts.chunks(pts.len().div_ceil(k)).enumerate() {
+        f.item(&format!("part{i}"), chunk.iter().copied());
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fractions_are_in_unit_interval((space, f1) in arb_space_and_field("L1")) {
+        let f2 = partition_field(&space, 2, "L2");
+        let al = Alignment::between(&space, &f1, &f2);
+        for s in f1.items() {
+            for t in f2.items() {
+                let fr = al.fraction(s, t);
+                prop_assert!((0.0..=1.0).contains(&fr));
+            }
+        }
+    }
+
+    #[test]
+    fn row_fractions_sum_to_coverage_for_partitions((space, f1) in arb_space_and_field("L1")) {
+        // Against a partition target, the row fractions sum to the
+        // fraction of the source range covered by the partition = 1
+        // (partitions cover everything).
+        let f2 = partition_field(&space, 2, "L2");
+        let al = Alignment::between(&space, &f1, &f2);
+        for s in f1.items() {
+            let total: f64 = f2.items().map(|t| al.fraction(s, t)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "row sum {total}");
+        }
+    }
+
+    #[test]
+    fn self_alignment_of_partition_is_bijective(k in 1usize..4, n in 4usize..8) {
+        let mut space = SemanticSpace::new();
+        for i in 0..n {
+            space.point(&format!("pt{i}"));
+        }
+        let f = partition_field(&space, k, "L");
+        let al = Alignment::between(&space, &f, &f);
+        prop_assert!(al.is_bijective());
+        prop_assert_eq!(al.total_ambiguity(), 0);
+    }
+
+    #[test]
+    fn same_division_is_reflexive_and_symmetric((space, f1) in arb_space_and_field("L1")) {
+        prop_assert!(same_division(&space, &f1, &f1));
+        let f2 = partition_field(&space, 2, "L2");
+        prop_assert_eq!(
+            same_division(&space, &f1, &f2),
+            same_division(&space, &f2, &f1)
+        );
+    }
+
+    #[test]
+    fn targets_of_covers_all_overlapping_items((space, f1) in arb_space_and_field("L1")) {
+        let f2 = partition_field(&space, 3, "L2");
+        let al = Alignment::between(&space, &f1, &f2);
+        for s in f1.items() {
+            let targets = al.targets_of(s);
+            for t in f2.items() {
+                let overlaps = f1
+                    .range(s)
+                    .intersection(f2.range(t))
+                    .next()
+                    .is_some();
+                prop_assert_eq!(targets.contains(&t), overlaps);
+            }
+        }
+    }
+
+    #[test]
+    fn words_for_agrees_with_ranges((space, f) in arb_space_and_field("L")) {
+        for p in space.points() {
+            let words = f.words_for(p);
+            for i in f.items() {
+                prop_assert_eq!(words.contains(&i), f.range(i).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn covered_is_union_of_ranges((space, f) in arb_space_and_field("L")) {
+        let covered = f.covered();
+        for p in space.points() {
+            prop_assert_eq!(covered.contains(&p), !f.words_for(p).is_empty());
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! A small axiom language over ontology signatures.
+//!
+//! The `A` of an ontonomy `(Σ, A)`. Axioms constrain instance models;
+//! [`OntAxiom::check`] decides satisfaction on a finite model.
+
+use crate::error::{OntonomyError, Result};
+use crate::instance::{InstanceModel, Value};
+use crate::signature::{ClassId, OntologySignature};
+use summa_osa::term::Term;
+
+/// An axiom over instance models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntAxiom {
+    /// The extents of two classes are disjoint.
+    Disjoint(ClassId, ClassId),
+    /// The parent's extent is covered by the children's extents.
+    Cover {
+        /// The covered class.
+        parent: ClassId,
+        /// The covering subclasses.
+        children: Vec<ClassId>,
+    },
+    /// A class has at least one instance.
+    NonEmpty(ClassId),
+    /// Two attributes agree on every instance of a class.
+    AttrEqual {
+        /// The class whose instances are constrained.
+        class: ClassId,
+        /// First attribute name.
+        a: String,
+        /// Second attribute name.
+        b: String,
+    },
+    /// An attribute has a fixed data value on every instance of a
+    /// class (e.g. "every car's size is small").
+    AttrFixed {
+        /// The class whose instances are constrained.
+        class: ClassId,
+        /// Attribute name.
+        attr: String,
+        /// The required ground term (compared up to the data domain's
+        /// equational theory when a rewrite system applies — here
+        /// syntactically, since values are stored canonically).
+        value: Term,
+    },
+}
+
+impl OntAxiom {
+    /// A short tag for error messages.
+    fn tag(&self) -> String {
+        match self {
+            OntAxiom::Disjoint(..) => "disjoint".into(),
+            OntAxiom::Cover { .. } => "cover".into(),
+            OntAxiom::NonEmpty(..) => "non-empty".into(),
+            OntAxiom::AttrEqual { a, b, .. } => format!("attr-equal {a}={b}"),
+            OntAxiom::AttrFixed { attr, .. } => format!("attr-fixed {attr}"),
+        }
+    }
+
+    /// Check satisfaction on a finite instance model.
+    pub fn check(&self, sig: &OntologySignature, m: &InstanceModel) -> Result<()> {
+        let fail = |detail: String| {
+            Err(OntonomyError::AxiomViolated {
+                axiom: self.tag(),
+                detail,
+            })
+        };
+        match self {
+            OntAxiom::Disjoint(c1, c2) => {
+                let e1 = m.extent(sig, *c1);
+                let e2 = m.extent(sig, *c2);
+                if let Some(o) = e1.intersection(&e2).next() {
+                    return fail(format!(
+                        "'{}' is in both '{}' and '{}'",
+                        m.object_name(*o),
+                        sig.class_name(*c1),
+                        sig.class_name(*c2)
+                    ));
+                }
+                Ok(())
+            }
+            OntAxiom::Cover { parent, children } => {
+                let pe = m.extent(sig, *parent);
+                for o in pe {
+                    if !children.iter().any(|c| m.extent(sig, *c).contains(&o)) {
+                        return fail(format!(
+                            "'{}' in '{}' is in no covering child",
+                            m.object_name(o),
+                            sig.class_name(*parent)
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            OntAxiom::NonEmpty(c) => {
+                if m.extent(sig, *c).is_empty() {
+                    return fail(format!("'{}' has no instances", sig.class_name(*c)));
+                }
+                Ok(())
+            }
+            OntAxiom::AttrEqual { class, a, b } => {
+                for o in m.extent(sig, *class) {
+                    let va = m.value(a, o);
+                    let vb = m.value(b, o);
+                    if va != vb {
+                        return fail(format!(
+                            "'{}' differs on '{}': {va:?} vs {vb:?}",
+                            m.object_name(o),
+                            sig.class_name(*class)
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            OntAxiom::AttrFixed { class, attr, value } => {
+                for o in m.extent(sig, *class) {
+                    match m.value(attr, o) {
+                        Some(Value::Data(t)) if t == value => {}
+                        other => {
+                            return fail(format!(
+                                "'{}' has {other:?}, expected {value:?}",
+                                m.object_name(o)
+                            ))
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceModelBuilder;
+    use crate::signature::{AttrTarget, SignatureBuilder};
+    use summa_osa::algebra::AlgebraBuilder;
+    use summa_osa::theory::{DataDomain, Theory};
+
+    fn setup() -> (OntologySignature, ClassId, ClassId, ClassId, Term, Term) {
+        let mut b = summa_osa::signature::SignatureBuilder::new();
+        let size = b.sort("Size");
+        let small_op = b.op("small", &[], size);
+        let big_op = b.op("big", &[], size);
+        let osig = b.finish().unwrap();
+        let theory = Theory::new(osig.clone());
+        let mut ab = AlgebraBuilder::new(osig.clone());
+        let e1 = ab.elem("small", size);
+        let e2 = ab.elem("big", size);
+        ab.interpret(small_op, &[], e1);
+        ab.interpret(big_op, &[], e2);
+        let dd = DataDomain::new(theory, ab.finish().unwrap()).unwrap();
+
+        let mut sb = SignatureBuilder::new(dd);
+        let vehicle = sb.class("vehicle");
+        let car = sb.class("car");
+        let pickup = sb.class("pickup");
+        sb.subclass(car, vehicle);
+        sb.subclass(pickup, vehicle);
+        sb.attribute(vehicle, "size", AttrTarget::Sort(size));
+        let sig = sb.finish().unwrap();
+        (
+            sig,
+            vehicle,
+            car,
+            pickup,
+            Term::constant(small_op),
+            Term::constant(big_op),
+        )
+    }
+
+    #[test]
+    fn disjointness_detects_shared_instance() {
+        let (sig, _v, car, pickup, small, _big) = setup();
+        let mut mb = InstanceModelBuilder::new();
+        let o = mb.object("elcamino", car);
+        mb.extend_class(o, pickup);
+        mb.set("size", o, Value::Data(small));
+        let m = mb.finish();
+        let ax = OntAxiom::Disjoint(car, pickup);
+        assert!(ax.check(&sig, &m).is_err());
+    }
+
+    #[test]
+    fn disjointness_passes_when_separate() {
+        let (sig, _v, car, pickup, small, big) = setup();
+        let mut mb = InstanceModelBuilder::new();
+        let a = mb.object("beetle", car);
+        let b = mb.object("f150", pickup);
+        mb.set("size", a, Value::Data(small));
+        mb.set("size", b, Value::Data(big));
+        let m = mb.finish();
+        assert!(OntAxiom::Disjoint(car, pickup).check(&sig, &m).is_ok());
+    }
+
+    #[test]
+    fn cover_requires_membership_in_a_child() {
+        let (sig, vehicle, car, pickup, small, _big) = setup();
+        let mut mb = InstanceModelBuilder::new();
+        let o = mb.object("mystery", vehicle);
+        mb.set("size", o, Value::Data(small));
+        let m = mb.finish();
+        let ax = OntAxiom::Cover {
+            parent: vehicle,
+            children: vec![car, pickup],
+        };
+        assert!(ax.check(&sig, &m).is_err());
+    }
+
+    #[test]
+    fn non_empty_and_attr_fixed() {
+        let (sig, _v, car, _pickup, small, big) = setup();
+        let mut mb = InstanceModelBuilder::new();
+        let o = mb.object("beetle", car);
+        mb.set("size", o, Value::Data(small.clone()));
+        let m = mb.finish();
+        assert!(OntAxiom::NonEmpty(car).check(&sig, &m).is_ok());
+        assert!(OntAxiom::AttrFixed {
+            class: car,
+            attr: "size".into(),
+            value: small
+        }
+        .check(&sig, &m)
+        .is_ok());
+        assert!(OntAxiom::AttrFixed {
+            class: car,
+            attr: "size".into(),
+            value: big
+        }
+        .check(&sig, &m)
+        .is_err());
+    }
+
+    #[test]
+    fn attr_equal_compares_valuations() {
+        let (sig, _v, car, _pickup, small, big) = setup();
+        let mut mb = InstanceModelBuilder::new();
+        let o = mb.object("beetle", car);
+        mb.set("size", o, Value::Data(small.clone()));
+        mb.set("size2", o, Value::Data(small));
+        mb.set("size3", o, Value::Data(big));
+        let m = mb.finish();
+        assert!(OntAxiom::AttrEqual {
+            class: car,
+            a: "size".into(),
+            b: "size2".into()
+        }
+        .check(&sig, &m)
+        .is_ok());
+        assert!(OntAxiom::AttrEqual {
+            class: car,
+            a: "size".into(),
+            b: "size3".into()
+        }
+        .check(&sig, &m)
+        .is_err());
+    }
+}

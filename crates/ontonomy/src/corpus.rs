@@ -1,0 +1,317 @@
+//! The paper's vehicle example as a Bench-Capon & Malcolm ontonomy.
+//!
+//! The DL structure (4) re-expressed in the order-sorted-algebraic
+//! style of Definition 1 — which is itself instructive: every relation
+//! other than subsumption (`size`, `uses`, `has wheels`) must become
+//! an *attribute*, exactly the narrowness the paper criticizes
+//! ("strongly oriented towards monocriterial taxonomies").
+
+use crate::axiom::OntAxiom;
+use crate::error::Result;
+use crate::instance::{InstanceModel, InstanceModelBuilder, Value};
+use crate::signature::{AttrTarget, ClassId, Ontonomy, SignatureBuilder};
+use summa_osa::algebra::AlgebraBuilder;
+use summa_osa::signature::SignatureBuilder as OsaSignatureBuilder;
+use summa_osa::term::Term;
+use summa_osa::theory::{DataDomain, Theory};
+
+/// Handles into the vehicles ontonomy.
+#[derive(Debug, Clone)]
+pub struct VehiclesOntonomy {
+    /// The ontonomy `(Σ, A)`.
+    pub ontonomy: Ontonomy,
+    /// `car` class.
+    pub car: ClassId,
+    /// `pickup` class.
+    pub pickup: ClassId,
+    /// `motorvehicle` class.
+    pub motorvehicle: ClassId,
+    /// `roadvehicle` class.
+    pub roadvehicle: ClassId,
+    /// Ground term `small : Size`.
+    pub small: Term,
+    /// Ground term `big : Size`.
+    pub big: Term,
+    /// Ground term `gasoline : Fuel`.
+    pub gasoline: Term,
+    /// Ground term `four : Count`.
+    pub four: Term,
+}
+
+/// Build the vehicles ontonomy of structure (4).
+pub fn vehicles_signature() -> Result<VehiclesOntonomy> {
+    // Data domain: three tiny sorts of values.
+    let mut ob = OsaSignatureBuilder::new();
+    let size = ob.sort("Size");
+    let fuel = ob.sort("Fuel");
+    let count = ob.sort("Count");
+    let small_op = ob.op("small", &[], size);
+    let big_op = ob.op("big", &[], size);
+    let gasoline_op = ob.op("gasoline", &[], fuel);
+    let two_op = ob.op("two", &[], count);
+    let four_op = ob.op("four", &[], count);
+    let osig = ob.finish()?;
+    let theory = Theory::new(osig.clone());
+    let mut ab = AlgebraBuilder::new(osig.clone());
+    for (op, name, sort) in [
+        (small_op, "small", size),
+        (big_op, "big", size),
+        (gasoline_op, "gasoline", fuel),
+        (two_op, "two", count),
+        (four_op, "four", count),
+    ] {
+        let e = ab.elem(name, sort);
+        ab.interpret(op, &[], e);
+    }
+    let dd = DataDomain::new(theory, ab.finish()?)?;
+
+    // Classes: car, pickup ≤ motorvehicle ⊓ roadvehicle.
+    let mut sb = SignatureBuilder::new(dd);
+    let motorvehicle = sb.class("motorvehicle");
+    let roadvehicle = sb.class("roadvehicle");
+    let car = sb.class("car");
+    let pickup = sb.class("pickup");
+    sb.subclass(car, motorvehicle);
+    sb.subclass(car, roadvehicle);
+    sb.subclass(pickup, motorvehicle);
+    sb.subclass(pickup, roadvehicle);
+    // Attributes: every non-subsumption relation becomes one.
+    sb.attribute(car, "size", AttrTarget::Sort(size));
+    sb.attribute(pickup, "size", AttrTarget::Sort(size));
+    sb.attribute(motorvehicle, "uses", AttrTarget::Sort(fuel));
+    sb.attribute(roadvehicle, "wheels", AttrTarget::Sort(count));
+    let sig = sb.finish()?;
+
+    let small = Term::constant(small_op);
+    let big = Term::constant(big_op);
+    let gasoline = Term::constant(gasoline_op);
+    let four = Term::constant(four_op);
+
+    let mut ontonomy = Ontonomy::new(sig);
+    // ∃size.small / ∃size.big become fixed-value axioms.
+    ontonomy.add_axiom(OntAxiom::AttrFixed {
+        class: car,
+        attr: "size".into(),
+        value: small.clone(),
+    });
+    ontonomy.add_axiom(OntAxiom::AttrFixed {
+        class: pickup,
+        attr: "size".into(),
+        value: big.clone(),
+    });
+    ontonomy.add_axiom(OntAxiom::AttrFixed {
+        class: motorvehicle,
+        attr: "uses".into(),
+        value: gasoline.clone(),
+    });
+    ontonomy.add_axiom(OntAxiom::AttrFixed {
+        class: roadvehicle,
+        attr: "wheels".into(),
+        value: four.clone(),
+    });
+
+    Ok(VehiclesOntonomy {
+        ontonomy,
+        car,
+        pickup,
+        motorvehicle,
+        roadvehicle,
+        small,
+        big,
+        gasoline,
+        four,
+    })
+}
+
+impl VehiclesOntonomy {
+    /// A valid sample model: one car and one pickup with all
+    /// attributes set as the axioms require.
+    pub fn sample_model(&self) -> InstanceModel {
+        let mut mb = InstanceModelBuilder::new();
+        let beetle = mb.object("beetle", self.car);
+        mb.set("size", beetle, Value::Data(self.small.clone()));
+        mb.set("uses", beetle, Value::Data(self.gasoline.clone()));
+        mb.set("wheels", beetle, Value::Data(self.four.clone()));
+        let f150 = mb.object("f150", self.pickup);
+        mb.set("size", f150, Value::Data(self.big.clone()));
+        mb.set("uses", f150, Value::Data(self.gasoline.clone()));
+        mb.set("wheels", f150, Value::Data(self.four.clone()));
+        mb.finish()
+    }
+
+    /// A broken model: a "big car" violating the size axiom.
+    pub fn broken_model(&self) -> InstanceModel {
+        let mut mb = InstanceModelBuilder::new();
+        let tank = mb.object("tank", self.car);
+        mb.set("size", tank, Value::Data(self.big.clone()));
+        mb.set("uses", tank, Value::Data(self.gasoline.clone()));
+        mb.set("wheels", tank, Value::Data(self.four.clone()));
+        mb.finish()
+    }
+}
+
+/// Handles into the animals ontonomy (the BCM encoding of structure
+/// (8), isomorphic to [`vehicles_signature`]'s).
+#[derive(Debug, Clone)]
+pub struct AnimalsOntonomy {
+    /// The ontonomy `(Σ, A)`.
+    pub ontonomy: Ontonomy,
+    /// `dog` class.
+    pub dog: ClassId,
+    /// `horse` class.
+    pub horse: ClassId,
+    /// `animal` class.
+    pub animal: ClassId,
+    /// `quadruped` class.
+    pub quadruped: ClassId,
+}
+
+fn animals_signature_inner(repaired: bool) -> Result<AnimalsOntonomy> {
+    // Same data-domain shape as the vehicles: three value sorts.
+    let mut ob = OsaSignatureBuilder::new();
+    let size = ob.sort("Size");
+    let diet = ob.sort("Diet");
+    let count = ob.sort("Count");
+    let small_op = ob.op("small", &[], size);
+    let big_op = ob.op("big", &[], size);
+    let food_op = ob.op("food", &[], diet);
+    let two_op = ob.op("two", &[], count);
+    let four_op = ob.op("four", &[], count);
+    let osig = ob.finish()?;
+    let theory = Theory::new(osig.clone());
+    let mut ab = AlgebraBuilder::new(osig);
+    for (op, name, sort) in [
+        (small_op, "small", size),
+        (big_op, "big", size),
+        (food_op, "food", diet),
+        (two_op, "two", count),
+        (four_op, "four", count),
+    ] {
+        let e = ab.elem(name, sort);
+        ab.interpret(op, &[], e);
+    }
+    let dd = DataDomain::new(theory, ab.finish()?)?;
+
+    let mut sb = SignatureBuilder::new(dd);
+    let animal = sb.class("animal");
+    let quadruped = sb.class("quadruped");
+    let dog = sb.class("dog");
+    let horse = sb.class("horse");
+    sb.subclass(dog, animal);
+    sb.subclass(dog, quadruped);
+    sb.subclass(horse, animal);
+    sb.subclass(horse, quadruped);
+    if repaired {
+        // Structure (9): quadruped ⊑ animal.
+        sb.subclass(quadruped, animal);
+    }
+    sb.attribute(dog, "size", AttrTarget::Sort(size));
+    sb.attribute(horse, "size", AttrTarget::Sort(size));
+    sb.attribute(animal, "ingests", AttrTarget::Sort(diet));
+    sb.attribute(quadruped, "legs", AttrTarget::Sort(count));
+    let sig = sb.finish()?;
+
+    let mut ontonomy = Ontonomy::new(sig);
+    ontonomy.add_axiom(OntAxiom::AttrFixed {
+        class: dog,
+        attr: "size".into(),
+        value: Term::constant(small_op),
+    });
+    ontonomy.add_axiom(OntAxiom::AttrFixed {
+        class: horse,
+        attr: "size".into(),
+        value: Term::constant(big_op),
+    });
+    ontonomy.add_axiom(OntAxiom::AttrFixed {
+        class: animal,
+        attr: "ingests".into(),
+        value: Term::constant(food_op),
+    });
+    ontonomy.add_axiom(OntAxiom::AttrFixed {
+        class: quadruped,
+        attr: "legs".into(),
+        value: Term::constant(four_op),
+    });
+    Ok(AnimalsOntonomy {
+        ontonomy,
+        dog,
+        horse,
+        animal,
+        quadruped,
+    })
+}
+
+/// The BCM encoding of structure (8).
+pub fn animals_signature() -> Result<AnimalsOntonomy> {
+    animals_signature_inner(false)
+}
+
+/// The BCM encoding of the repaired structures (9)–(11).
+pub fn animals_signature_repaired() -> Result<AnimalsOntonomy> {
+    animals_signature_inner(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn animals_signature_mirrors_the_vehicles() {
+        let a = animals_signature().unwrap();
+        let s = &a.ontonomy.signature;
+        assert!(s.subclass_of(a.dog, a.animal));
+        assert!(s.subclass_of(a.horse, a.quadruped));
+        assert!(!s.subclass_of(a.quadruped, a.animal));
+        let repaired = animals_signature_repaired().unwrap();
+        assert!(repaired
+            .ontonomy
+            .signature
+            .subclass_of(repaired.quadruped, repaired.animal));
+    }
+
+    #[test]
+    fn vehicles_signature_is_well_formed() {
+        let v = vehicles_signature().unwrap();
+        assert!(v.ontonomy.signature.check_inheritance().is_ok());
+        // car inherits 'uses' from motorvehicle and 'wheels' from
+        // roadvehicle (multiple inheritance through the DAG).
+        let attrs: Vec<String> = v
+            .ontonomy
+            .signature
+            .attrs_of_class(v.car)
+            .into_iter()
+            .map(|(_, a)| a)
+            .collect();
+        assert!(attrs.contains(&"size".to_string()));
+        assert!(attrs.contains(&"uses".to_string()));
+        assert!(attrs.contains(&"wheels".to_string()));
+    }
+
+    #[test]
+    fn sample_model_is_a_model() {
+        let v = vehicles_signature().unwrap();
+        let m = v.sample_model();
+        assert!(v.ontonomy.is_model(&m).is_ok());
+    }
+
+    #[test]
+    fn broken_model_is_rejected_by_axioms() {
+        let v = vehicles_signature().unwrap();
+        let m = v.broken_model();
+        // Signature-level check passes (the valuation is well-typed) …
+        assert!(m.check_against(&v.ontonomy.signature).is_ok());
+        // … but the AttrFixed axiom rejects the big car.
+        assert!(v.ontonomy.is_model(&m).is_err());
+    }
+
+    #[test]
+    fn hierarchy_is_the_paper_dag() {
+        let v = vehicles_signature().unwrap();
+        let s = &v.ontonomy.signature;
+        assert!(s.subclass_of(v.car, v.motorvehicle));
+        assert!(s.subclass_of(v.car, v.roadvehicle));
+        assert!(s.subclass_of(v.pickup, v.motorvehicle));
+        assert!(!s.subclass_of(v.motorvehicle, v.roadvehicle));
+        assert!(!s.subclass_of(v.car, v.pickup));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for ontology signatures and their models.
+
+use std::fmt;
+
+/// Errors raised while building or checking ontonomies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntonomyError {
+    /// The class hierarchy would contain a cycle.
+    ClassCycle { a: String, b: String },
+    /// A class id outside the hierarchy.
+    UnknownClass(String),
+    /// An attribute target refers to an unknown class or sort.
+    UnknownTarget(String),
+    /// The attribute family violates Definition 1's inheritance
+    /// condition `A_{c′,e} ⊆ A_{c,e′}` for `c ≤ c′`, `e ≤ e′`.
+    InheritanceViolation {
+        attr: String,
+        sub: String,
+        sup: String,
+    },
+    /// An instance model's class extents do not respect the hierarchy.
+    ExtentViolation { sub: String, sup: String },
+    /// An attribute valuation is missing or ill-typed.
+    BadValuation { attr: String, detail: String },
+    /// An axiom is violated by the instance model.
+    AxiomViolated { axiom: String, detail: String },
+    /// An error bubbled up from the order-sorted substrate.
+    Osa(summa_osa::error::OsaError),
+}
+
+impl fmt::Display for OntonomyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntonomyError::ClassCycle { a, b } => {
+                write!(f, "class hierarchy cycle between '{a}' and '{b}'")
+            }
+            OntonomyError::UnknownClass(c) => write!(f, "unknown class '{c}'"),
+            OntonomyError::UnknownTarget(t) => write!(f, "unknown attribute target '{t}'"),
+            OntonomyError::InheritanceViolation { attr, sub, sup } => write!(
+                f,
+                "attribute '{attr}' of '{sup}' is not inherited by subclass '{sub}'"
+            ),
+            OntonomyError::ExtentViolation { sub, sup } => {
+                write!(f, "extent of '{sub}' not included in extent of '{sup}'")
+            }
+            OntonomyError::BadValuation { attr, detail } => {
+                write!(f, "bad valuation for attribute '{attr}': {detail}")
+            }
+            OntonomyError::AxiomViolated { axiom, detail } => {
+                write!(f, "axiom violated ({axiom}): {detail}")
+            }
+            OntonomyError::Osa(e) => write!(f, "order-sorted substrate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OntonomyError {}
+
+impl From<summa_osa::error::OsaError> for OntonomyError {
+    fn from(e: summa_osa::error::OsaError) -> Self {
+        OntonomyError::Osa(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OntonomyError>;

@@ -1,0 +1,196 @@
+//! Equations over order-sorted terms.
+
+use crate::error::{OsaError, Result};
+use crate::signature::Signature;
+use crate::term::Term;
+use std::fmt;
+
+/// An (unconditional) equation `lhs = rhs`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Equation {
+    /// Left-hand side.
+    pub lhs: Term,
+    /// Right-hand side.
+    pub rhs: Term,
+}
+
+impl Equation {
+    /// Construct an equation (validation happens in
+    /// [`Equation::validate`], typically via `Theory::add_equation`).
+    pub fn new(lhs: Term, rhs: Term) -> Self {
+        Equation { lhs, rhs }
+    }
+
+    /// Check the equation against a signature:
+    /// both sides must be well-sorted, their least sorts must lie in the
+    /// same connected component of the sort poset (the order-sorted
+    /// coherence requirement), and a shared variable must be used at the
+    /// same sort on both sides.
+    pub fn validate(&self, sig: &Signature) -> Result<()> {
+        let ls = self.lhs.well_sorted(sig)?;
+        let rs = self.rhs.well_sorted(sig)?;
+        if !sig.poset().same_component(ls, rs) {
+            return Err(OsaError::IncomparableEquation {
+                detail: format!(
+                    "lhs sort '{}' and rhs sort '{}' are in different components",
+                    sig.poset().name(ls),
+                    sig.poset().name(rs)
+                ),
+            });
+        }
+        let lv = self.lhs.vars();
+        for (name, sort) in self.rhs.vars() {
+            if let Some(&lsort) = lv.get(&name) {
+                if lsort != sort {
+                    return Err(OsaError::IllSorted {
+                        detail: format!("variable '{name}' used at two sorts across the equation"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every variable of the right side occurs on the left —
+    /// the condition for use as a left-to-right rewrite rule.
+    pub fn is_rule(&self) -> bool {
+        if self.lhs.is_var() {
+            return false;
+        }
+        let lv = self.lhs.vars();
+        self.rhs.vars().keys().all(|k| lv.contains_key(k))
+    }
+
+    /// Rename all variables with a suffix (for critical-pair freshness).
+    pub fn rename(&self, suffix: &str) -> Equation {
+        let f = |n: &str| format!("{n}{suffix}");
+        Equation {
+            lhs: self.lhs.rename_vars(&f),
+            rhs: self.rhs.rename_vars(&f),
+        }
+    }
+
+    /// The flipped equation `rhs = lhs`.
+    pub fn flip(&self) -> Equation {
+        Equation {
+            lhs: self.rhs.clone(),
+            rhs: self.lhs.clone(),
+        }
+    }
+
+    /// Pretty-print against a signature.
+    pub fn display<'a>(&'a self, sig: &'a Signature) -> EquationDisplay<'a> {
+        EquationDisplay { eq: self, sig }
+    }
+}
+
+/// Pretty-printer for [`Equation`].
+pub struct EquationDisplay<'a> {
+    eq: &'a Equation,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for EquationDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} = {}",
+            self.eq.lhs.display(self.sig),
+            self.eq.rhs.display(self.sig)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::SignatureBuilder;
+
+    #[test]
+    fn validates_well_sorted_equation() {
+        let mut b = SignatureBuilder::new();
+        let nat = b.sort("Nat");
+        let zero = b.op("zero", &[], nat);
+        let plus = b.op("plus", &[nat, nat], nat);
+        let sig = b.finish().unwrap();
+        let y = Term::var("y", nat);
+        let eq = Equation::new(
+            Term::app(plus, vec![Term::constant(zero), y.clone()]),
+            y.clone(),
+        );
+        assert!(eq.validate(&sig).is_ok());
+        assert!(eq.is_rule());
+    }
+
+    #[test]
+    fn rejects_cross_component_equation() {
+        let mut b = SignatureBuilder::new();
+        let nat = b.sort("Nat");
+        let bool_ = b.sort("Bool");
+        let zero = b.op("zero", &[], nat);
+        let tt = b.op("true", &[], bool_);
+        let sig = b.finish().unwrap();
+        let eq = Equation::new(Term::constant(zero), Term::constant(tt));
+        assert!(matches!(
+            eq.validate(&sig),
+            Err(OsaError::IncomparableEquation { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_variable_sort_clash_across_sides() {
+        let mut b = SignatureBuilder::new();
+        let nat = b.sort("Nat");
+        let nz = b.sort("NzNat");
+        b.subsort(nz, nat);
+        let id_n = b.op("idn", &[nat], nat);
+        let id_z = b.op("idz", &[nz], nat);
+        let sig = b.finish().unwrap();
+        let eq = Equation::new(
+            Term::app(id_n, vec![Term::var("x", nat)]),
+            Term::app(id_z, vec![Term::var("x", nz)]),
+        );
+        assert!(eq.validate(&sig).is_err());
+    }
+
+    #[test]
+    fn extra_rhs_variable_is_not_a_rule() {
+        let mut b = SignatureBuilder::new();
+        let nat = b.sort("Nat");
+        let zero = b.op("zero", &[], nat);
+        let plus = b.op("plus", &[nat, nat], nat);
+        let sig = b.finish().unwrap();
+        let eq = Equation::new(
+            Term::constant(zero),
+            Term::app(plus, vec![Term::var("y", nat), Term::constant(zero)]),
+        );
+        assert!(eq.validate(&sig).is_ok());
+        assert!(!eq.is_rule());
+        assert!(eq.flip().is_rule());
+    }
+
+    #[test]
+    fn variable_lhs_is_not_a_rule() {
+        let mut b = SignatureBuilder::new();
+        let nat = b.sort("Nat");
+        let _zero = b.op("zero", &[], nat);
+        let _sig = b.finish().unwrap();
+        let eq = Equation::new(Term::var("x", nat), Term::var("x", nat));
+        assert!(!eq.is_rule());
+    }
+
+    #[test]
+    fn rename_adds_suffix_to_all_vars() {
+        let mut b = SignatureBuilder::new();
+        let nat = b.sort("Nat");
+        let plus = b.op("plus", &[nat, nat], nat);
+        let _sig = b.finish().unwrap();
+        let eq = Equation::new(
+            Term::app(plus, vec![Term::var("x", nat), Term::var("y", nat)]),
+            Term::var("x", nat),
+        );
+        let r = eq.rename("_1");
+        assert!(r.lhs.vars().contains_key("x_1"));
+        assert!(r.rhs.vars().contains_key("x_1"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for order-sorted algebra construction and use.
+
+use std::fmt;
+
+/// Errors raised while building or using order-sorted structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsaError {
+    /// The subsort relation would contain a cycle (violating antisymmetry).
+    SortCycle { a: String, b: String },
+    /// A sort id does not belong to the poset it was used with.
+    UnknownSort(String),
+    /// An operator id does not belong to the signature it was used with.
+    UnknownOp(String),
+    /// Two overloaded ranks for the same operator name violate the
+    /// monotonicity condition: `w1 ≤ w2` componentwise but `s1 ≰ s2`.
+    NonMonotoneOverload { op: String },
+    /// The signature is not preregular: some argument-sort tuple has no
+    /// least applicable rank for an operator.
+    NotPreregular { op: String },
+    /// A term is not well-sorted under the signature.
+    IllSorted { detail: String },
+    /// An equation's two sides have incomparable least sorts (no common
+    /// supersort in the connected component).
+    IncomparableEquation { detail: String },
+    /// A rewrite rule has a variable on the right that is absent on the
+    /// left, or a variable left-hand side.
+    InvalidRule { detail: String },
+    /// Rewriting exceeded the supplied step budget.
+    StepBudgetExceeded { budget: usize },
+    /// An algebra's carriers do not respect the subsort inclusions.
+    CarrierInclusionViolation { sub: String, sup: String },
+    /// An operator interpretation is missing or has the wrong arity.
+    BadInterpretation { op: String, detail: String },
+    /// A name was declared twice where uniqueness is required.
+    DuplicateName(String),
+}
+
+impl fmt::Display for OsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsaError::SortCycle { a, b } => {
+                write!(f, "subsort cycle between '{a}' and '{b}'")
+            }
+            OsaError::UnknownSort(s) => write!(f, "unknown sort '{s}'"),
+            OsaError::UnknownOp(o) => write!(f, "unknown operator '{o}'"),
+            OsaError::NonMonotoneOverload { op } => {
+                write!(f, "overloads of '{op}' violate monotonicity")
+            }
+            OsaError::NotPreregular { op } => {
+                write!(f, "operator '{op}' has no least rank for some arguments")
+            }
+            OsaError::IllSorted { detail } => write!(f, "ill-sorted term: {detail}"),
+            OsaError::IncomparableEquation { detail } => {
+                write!(f, "equation sides have incomparable sorts: {detail}")
+            }
+            OsaError::InvalidRule { detail } => write!(f, "invalid rewrite rule: {detail}"),
+            OsaError::StepBudgetExceeded { budget } => {
+                write!(f, "rewriting exceeded {budget} steps")
+            }
+            OsaError::CarrierInclusionViolation { sub, sup } => {
+                write!(f, "carrier of '{sub}' not included in carrier of '{sup}'")
+            }
+            OsaError::BadInterpretation { op, detail } => {
+                write!(f, "bad interpretation for '{op}': {detail}")
+            }
+            OsaError::DuplicateName(n) => write!(f, "duplicate name '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for OsaError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OsaError>;

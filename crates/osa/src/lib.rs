@@ -1,0 +1,98 @@
+//! # summa-osa — order-sorted algebra substrate
+//!
+//! An implementation of order-sorted equational logic in the style of
+//! Goguen & Meseguer, *Order-sorted algebra I: equational deduction for
+//! multiple inheritance, overloading, exceptions and partial operations*
+//! (Theoretical Computer Science 105(2), 1992).
+//!
+//! This crate is the algebraic foundation that Bench-Capon & Malcolm's
+//! structural definition of an *ontology signature* (reproduced in
+//! `summa-ontonomy`) builds on, as discussed in §2 of *Summa Contra
+//! Ontologiam*:
+//!
+//! > "An order-sorted algebra is a multi-sorted algebra `(Ω, (Aα|α ∈ S))`
+//! > where the set of sorts `S` is endowed with a partial order relation
+//! > called the sub-sort relation. Given a partially ordered set of sort
+//! > names `S = (S,≤)`, a collection `Σ` of typed equation symbols, and a
+//! > set `E` of equations on the symbols of `Σ`, one obtains an
+//! > order-sorted equational theory `T = (S, Σ, E)`. If `D` is a model of
+//! > `T`, then call `(T, D)` a data domain."
+//!
+//! ## What is provided
+//!
+//! * [`sort::SortPoset`] — partially ordered sets of sort names with
+//!   reachability, meets/joins and connected-component queries;
+//! * [`signature::Signature`] — order-sorted signatures with overloaded
+//!   operators, monotonicity / preregularity / regularity checks;
+//! * [`term::Term`] — well-sorted terms, least-sort computation,
+//!   substitution, matching and syntactic unification;
+//! * [`equation::Equation`] and [`theory::Theory`] — order-sorted
+//!   equational theories;
+//! * [`rewrite::RewriteSystem`] — order-sorted term rewriting: normal
+//!   forms, joinability, critical pairs, and a bounded local-confluence
+//!   check;
+//! * [`algebra::Algebra`] — finite order-sorted algebras, equation
+//!   satisfaction, and the ground-term (initial) algebra obtained by
+//!   congruence closure;
+//! * [`theory::DataDomain`] — the pair `(T, D)` used by the ontonomy
+//!   layer.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use summa_osa::prelude::*;
+//!
+//! // A tiny theory of naturals with a subsort NzNat < Nat.
+//! let mut sig = SignatureBuilder::new();
+//! let nat = sig.sort("Nat");
+//! let nznat = sig.sort("NzNat");
+//! sig.subsort(nznat, nat);
+//! let zero = sig.op("zero", &[], nat);
+//! let succ = sig.op("succ", &[nat], nznat);
+//! let plus = sig.op("plus", &[nat, nat], nat);
+//! let sig = sig.finish().unwrap();
+//!
+//! let x = Term::var("x", nat);
+//! let y = Term::var("y", nat);
+//! let mut theory = Theory::new(sig.clone());
+//! // plus(zero, y) = y
+//! theory.add_equation(Equation::new(
+//!     Term::app(plus, vec![Term::app(zero, vec![]), y.clone()]),
+//!     y.clone(),
+//! )).unwrap();
+//! // plus(succ(x), y) = succ(plus(x, y))
+//! theory.add_equation(Equation::new(
+//!     Term::app(plus, vec![Term::app(succ, vec![x.clone()]), y.clone()]),
+//!     Term::app(succ, vec![Term::app(plus, vec![x.clone(), y.clone()])]),
+//! )).unwrap();
+//!
+//! let rs = RewriteSystem::from_theory(&theory).unwrap();
+//! // 2 + 1 = 3
+//! let two = Term::app(succ, vec![Term::app(succ, vec![Term::app(zero, vec![])])]);
+//! let one = Term::app(succ, vec![Term::app(zero, vec![])]);
+//! let three = rs.normal_form(&Term::app(plus, vec![two, one]), 1000).unwrap();
+//! assert_eq!(three.depth(), 4); // succ(succ(succ(zero)))
+//! ```
+
+pub mod algebra;
+pub mod congruence;
+pub mod equation;
+pub mod error;
+pub mod rewrite;
+pub mod signature;
+pub mod sort;
+pub mod term;
+pub mod theory;
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use crate::algebra::{Algebra, AlgebraBuilder, GroundAlgebra};
+    pub use crate::congruence::CongruenceClosure;
+    pub use crate::equation::Equation;
+    pub use crate::error::OsaError;
+    pub use crate::rewrite::{CriticalPair, RewriteSystem};
+    pub use crate::signature::{OpDecl, OpId, Signature, SignatureBuilder};
+    pub use crate::sort::{SortId, SortPoset, SortPosetBuilder};
+    pub use crate::term::{Substitution, Term};
+    pub use crate::theory::{DataDomain, Theory};
+}

@@ -1,0 +1,116 @@
+//! Order-sorted equational theories and data domains.
+//!
+//! A theory `T = (S, Σ, E)` packages a validated signature with a set
+//! of validated equations. A *data domain* `(T, D)` pairs a theory with
+//! a model of it — the structure Bench-Capon & Malcolm use to model
+//! attribute values (see `summa-ontonomy`).
+
+use crate::algebra::Algebra;
+use crate::equation::Equation;
+use crate::error::Result;
+use crate::signature::Signature;
+
+/// An order-sorted equational theory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Theory {
+    signature: Signature,
+    equations: Vec<Equation>,
+}
+
+impl Theory {
+    /// A theory with no equations over `signature`.
+    pub fn new(signature: Signature) -> Self {
+        Theory {
+            signature,
+            equations: vec![],
+        }
+    }
+
+    /// The underlying signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The equations, in insertion order.
+    pub fn equations(&self) -> &[Equation] {
+        &self.equations
+    }
+
+    /// Validate and add an equation.
+    pub fn add_equation(&mut self, eq: Equation) -> Result<()> {
+        eq.validate(&self.signature)?;
+        self.equations.push(eq);
+        Ok(())
+    }
+
+    /// Number of equations.
+    pub fn n_equations(&self) -> usize {
+        self.equations.len()
+    }
+}
+
+/// A data domain `(T, D)`: a theory together with a model of it.
+///
+/// Construction verifies that `model` satisfies every equation of
+/// `theory`, so a `DataDomain` value is evidence of modelhood.
+#[derive(Debug, Clone)]
+pub struct DataDomain {
+    theory: Theory,
+    model: Algebra,
+}
+
+impl DataDomain {
+    /// Pair a theory with a model, verifying satisfaction.
+    pub fn new(theory: Theory, model: Algebra) -> Result<Self> {
+        model.check_against(&theory)?;
+        Ok(DataDomain { theory, model })
+    }
+
+    /// The theory `T`.
+    pub fn theory(&self) -> &Theory {
+        &self.theory
+    }
+
+    /// The model `D`.
+    pub fn model(&self) -> &Algebra {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::SignatureBuilder;
+    use crate::term::Term;
+
+    #[test]
+    fn theory_rejects_invalid_equation() {
+        let mut b = SignatureBuilder::new();
+        let nat = b.sort("Nat");
+        let bool_ = b.sort("Bool");
+        let zero = b.op("zero", &[], nat);
+        let tt = b.op("true", &[], bool_);
+        let sig = b.finish().unwrap();
+        let mut th = Theory::new(sig);
+        let bad = Equation::new(Term::constant(zero), Term::constant(tt));
+        assert!(th.add_equation(bad).is_err());
+        assert_eq!(th.n_equations(), 0);
+    }
+
+    #[test]
+    fn theory_accumulates_equations() {
+        let mut b = SignatureBuilder::new();
+        let nat = b.sort("Nat");
+        let zero = b.op("zero", &[], nat);
+        let plus = b.op("plus", &[nat, nat], nat);
+        let sig = b.finish().unwrap();
+        let mut th = Theory::new(sig);
+        let y = Term::var("y", nat);
+        th.add_equation(Equation::new(
+            Term::app(plus, vec![Term::constant(zero), y.clone()]),
+            y.clone(),
+        ))
+        .unwrap();
+        assert_eq!(th.n_equations(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for structural-meaning analysis.
+
+use proptest::prelude::*;
+use summa_dl::concept::{Concept, Vocabulary};
+use summa_dl::generate;
+use summa_dl::tbox::TBox;
+use summa_structure::differentiation::{count_internal_collapses, symmetric_family};
+use summa_structure::graph::{DefGraph, LabelMode};
+use summa_structure::isomorphism::find_isomorphism;
+use summa_structure::prelude::structurally_indistinguishable;
+
+/// A random small EL TBox plus its vocabulary.
+fn arb_tbox() -> impl Strategy<Value = (Vocabulary, TBox)> {
+    (3usize..7, 2usize..10, 0u64..10_000).prop_map(|(n, m, seed)| {
+        let (voc, t, _) = generate::random_el(n, 2, m, seed);
+        (voc, t)
+    })
+}
+
+/// Rebuild a TBox with every concept name systematically renamed, in a
+/// fresh vocabulary with a different interning order.
+fn rename_tbox(t: &TBox, voc: &Vocabulary) -> (Vocabulary, TBox) {
+    let mut voc2 = Vocabulary::new();
+    // Intern roles and concepts in reverse discovery order with fresh
+    // names so all ids differ.
+    let mut concept_map = std::collections::BTreeMap::new();
+    let mut role_map = std::collections::BTreeMap::new();
+    let mut atoms: Vec<_> = t.atoms().into_iter().collect();
+    atoms.reverse();
+    for a in atoms {
+        concept_map.insert(a, voc2.concept(&format!("renamed_{}", voc.concept_name(a))));
+    }
+    let mut roles: Vec<_> = t.roles().into_iter().collect();
+    roles.reverse();
+    for r in roles {
+        role_map.insert(r, voc2.role(&format!("renamed_{}", voc.role_name(r))));
+    }
+    fn map_concept(
+        c: &Concept,
+        cm: &std::collections::BTreeMap<summa_dl::concept::ConceptId, summa_dl::concept::ConceptId>,
+        rm: &std::collections::BTreeMap<summa_dl::concept::RoleId, summa_dl::concept::RoleId>,
+    ) -> Concept {
+        match c {
+            Concept::Top => Concept::Top,
+            Concept::Bottom => Concept::Bottom,
+            Concept::Atom(a) => Concept::Atom(cm[a]),
+            Concept::Not(i) => Concept::not(map_concept(i, cm, rm)),
+            Concept::And(cs) => Concept::and(cs.iter().map(|x| map_concept(x, cm, rm)).collect()),
+            Concept::Or(cs) => Concept::or(cs.iter().map(|x| map_concept(x, cm, rm)).collect()),
+            Concept::Exists(r, i) => Concept::exists(rm[r], map_concept(i, cm, rm)),
+            Concept::Forall(r, i) => Concept::forall(rm[r], map_concept(i, cm, rm)),
+            Concept::AtLeast(n, r, i) => Concept::at_least(*n, rm[r], map_concept(i, cm, rm)),
+            Concept::AtMost(n, r, i) => Concept::at_most(*n, rm[r], map_concept(i, cm, rm)),
+        }
+    }
+    let mut t2 = TBox::new();
+    for (l, r) in t.gcis() {
+        t2.subsume(
+            map_concept(&l, &concept_map, &role_map),
+            map_concept(&r, &concept_map, &role_map),
+        );
+    }
+    (voc2, t2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn isomorphism_is_reflexive((voc, t) in arb_tbox()) {
+        let g = DefGraph::from_tbox(&t, &voc, LabelMode::Anonymous);
+        prop_assert!(find_isomorphism(&g, &g).is_some());
+    }
+
+    #[test]
+    fn isomorphism_is_symmetric((voc, t) in arb_tbox()) {
+        let g1 = DefGraph::from_tbox(&t, &voc, LabelMode::Anonymous);
+        let (voc2, t2) = rename_tbox(&t, &voc);
+        let g2 = DefGraph::from_tbox(&t2, &voc2, LabelMode::Anonymous);
+        prop_assert_eq!(
+            find_isomorphism(&g1, &g2).is_some(),
+            find_isomorphism(&g2, &g1).is_some()
+        );
+    }
+
+    #[test]
+    fn renaming_preserves_anonymous_isomorphism((voc, t) in arb_tbox()) {
+        let g1 = DefGraph::from_tbox(&t, &voc, LabelMode::Anonymous);
+        let (voc2, t2) = rename_tbox(&t, &voc);
+        let g2 = DefGraph::from_tbox(&t2, &voc2, LabelMode::Anonymous);
+        prop_assert!(
+            find_isomorphism(&g1, &g2).is_some(),
+            "a renamed TBox must have an isomorphic skeleton"
+        );
+    }
+
+    #[test]
+    fn mapping_is_a_bijection_preserving_edges((voc, t) in arb_tbox()) {
+        let g = DefGraph::from_tbox(&t, &voc, LabelMode::Anonymous);
+        let m = find_isomorphism(&g, &g).expect("reflexive");
+        // Bijection over all nodes.
+        let mut seen = std::collections::BTreeSet::new();
+        for (&k, &v) in &m {
+            prop_assert!(k < g.n_nodes() && v < g.n_nodes());
+            prop_assert!(seen.insert(v), "mapping must be injective");
+        }
+        prop_assert_eq!(m.len(), g.n_nodes());
+        // Every edge maps to an edge of the same kind.
+        for (f, to, k) in g.edges() {
+            let (mf, mt) = (m[f], m[to]);
+            prop_assert!(g
+                .edges()
+                .iter()
+                .any(|(f2, t2, k2)| *f2 == mf && *t2 == mt && k2 == k));
+        }
+    }
+
+    #[test]
+    fn every_concept_is_self_indistinguishable((voc, t) in arb_tbox()) {
+        for c in t.atoms() {
+            prop_assert!(
+                structurally_indistinguishable(&t, c, &t, c, &voc).is_some(),
+                "{} not self-indistinguishable",
+                voc.concept_name(c)
+            );
+        }
+    }
+
+    #[test]
+    fn indistinguishability_is_symmetric_within_a_tbox((voc, t) in arb_tbox()) {
+        let atoms: Vec<_> = t.atoms().into_iter().collect();
+        for &a in atoms.iter().take(4) {
+            for &b in atoms.iter().take(4) {
+                let ab = structurally_indistinguishable(&t, a, &t, b, &voc).is_some();
+                let ba = structurally_indistinguishable(&t, b, &t, a, &voc).is_some();
+                prop_assert_eq!(ab, ba);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_family_collapse_count_is_exact(n in 2usize..5) {
+        let (voc, t) = symmetric_family(n);
+        // C(n,2) sibling pairs + C(n,2) filler pairs.
+        let expected = n * (n - 1);
+        prop_assert_eq!(count_internal_collapses(&t, &voc, 8), expected);
+    }
+
+    #[test]
+    fn neighborhood_is_monotone_in_depth((voc, t) in arb_tbox()) {
+        let g = DefGraph::from_tbox(&t, &voc, LabelMode::Full);
+        if g.n_nodes() == 0 {
+            return Ok(());
+        }
+        let mut prev = 0;
+        for depth in 0..4 {
+            let n = g.neighborhood(0, depth).n_nodes();
+            prop_assert!(n >= prev);
+            prev = n;
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! E8/E9 — regenerate the paper's two lexical-field schemas: the
+//! doorknob/pomello overlap and the age-adjective correspondence
+//! table, with alignment matrices.
+//!
+//! ```text
+//! cargo run --example lexical_fields
+//! ```
+
+use summa_core::substrates::lexfield::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // The doorknob schema.
+    // ------------------------------------------------------------------
+    let (space, english, italian) = doorknob_dataset();
+    println!("== The doorknob/pomello schema ==\n");
+    println!("{}", english.render(&space));
+    println!("{}", italian.render(&space));
+
+    println!("English → Italian alignment (row fractions):\n");
+    let en_it = Alignment::between(&space, &english, &italian);
+    println!("{}", en_it.render());
+    println!("Italian → English alignment:\n");
+    let it_en = Alignment::between(&space, &italian, &english);
+    println!("{}", it_en.render());
+
+    let doorknob = english.item_by_name("doorknob").expect("dataset item");
+    let pomello = italian.item_by_name("pomello").expect("dataset item");
+    println!(
+        "pomelli are, in general, doorknobs: pomello→doorknob coverage = {:.2}",
+        it_en.fraction(pomello, english.item_by_name("doorknob").expect("item"))
+    );
+    println!(
+        "…but some doorknobs are maniglie:  doorknob→maniglia overlap = {:.2}",
+        en_it.fraction(doorknob, italian.item_by_name("maniglia").expect("item"))
+    );
+    println!(
+        "word-for-word translation possible: {}\n",
+        en_it.is_bijective()
+    );
+
+    // ------------------------------------------------------------------
+    // The age-adjective table.
+    // ------------------------------------------------------------------
+    println!("== Adjectives of old age (Italian / Spanish / French) ==\n");
+    let f = age_adjectives_dataset();
+    println!("{}", f.italian.render(&f.space));
+    println!("{}", f.spanish.render(&f.space));
+    println!("{}", f.french.render(&f.space));
+
+    // Regenerate the paper's correspondence table: for each point of
+    // the space, which word covers it in each language.
+    println!("The correspondence table (one row per situation):\n");
+    println!(
+        "{:<32}{:<14}{:<14}{:<14}",
+        "situation", "Italian", "Spanish", "French"
+    );
+    for pt in f.space.points() {
+        let word = |field: &LexicalField| {
+            field
+                .words_for(pt)
+                .iter()
+                .map(|&i| field.name(i).to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        println!(
+            "{:<32}{:<14}{:<14}{:<14}",
+            f.space.label(pt),
+            word(&f.italian),
+            word(&f.spanish),
+            word(&f.french)
+        );
+    }
+    println!();
+
+    for (a, b) in [
+        (&f.italian, &f.spanish),
+        (&f.italian, &f.french),
+        (&f.spanish, &f.french),
+    ] {
+        let al = Alignment::between(&f.space, a, b);
+        println!(
+            "{:>8} → {:<8}: bijective = {:<5} total ambiguity = {}",
+            a.language(),
+            b.language(),
+            al.is_bijective(),
+            al.total_ambiguity()
+        );
+    }
+    println!(
+        "\n\"Different languages break the semantic field in different ways, and \
+         concepts arise at the fissures of these divisions.\""
+    );
+
+    // The atomist pairing attempt: which words lock to identical
+    // properties?
+    println!("\n== The atomist translation attempt ==\n");
+    for (a, b) in [
+        (&english, &italian),
+        (&f.italian, &f.spanish),
+        (&f.italian, &f.french),
+    ] {
+        let report = atomist_translation(a, b);
+        println!(
+            "{:>8} → {:<8}: explains = {:<5} coverage = {:.2}, unexplained = {:?}",
+            a.language(),
+            b.language(),
+            report.explains(),
+            report.coverage(),
+            report.unexplained
+        );
+    }
+    println!(
+        "\nAtomism pairs only words locking to identical properties; everything \
+         else is residue it cannot explain."
+    );
+}

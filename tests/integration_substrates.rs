@@ -1,0 +1,136 @@
+//! Integration: the substrate stack — order-sorted algebra, BCM
+//! ontonomies, and Guarino's intensional machinery working together.
+
+use summa_core::substrates::intensional::prelude::*;
+use summa_core::substrates::ontonomy::corpus::vehicles_signature;
+use summa_core::substrates::ontonomy::instance::{InstanceModelBuilder, Value};
+use summa_core::substrates::osa::prelude::*;
+
+#[test]
+fn bcm_vehicles_ontonomy_models_round_trip() {
+    let v = vehicles_signature().expect("well-formed");
+    // The sample model satisfies both the signature and the axioms.
+    let good = v.sample_model();
+    assert!(v.ontonomy.is_model(&good).is_ok());
+    // The broken model satisfies the signature but not the axioms —
+    // the two layers of Definition 1 are genuinely distinct checks.
+    let bad = v.broken_model();
+    assert!(bad.check_against(&v.ontonomy.signature).is_ok());
+    assert!(v.ontonomy.is_model(&bad).is_err());
+}
+
+#[test]
+fn the_data_domain_is_a_real_order_sorted_model() {
+    let v = vehicles_signature().expect("well-formed");
+    let dd = v.ontonomy.signature.data_domain();
+    // The carrier of Size has exactly the two declared values.
+    let size = dd
+        .theory()
+        .signature()
+        .poset()
+        .by_name("Size")
+        .expect("sort exists");
+    assert_eq!(dd.model().carrier(size).len(), 2);
+    // Ground terms evaluate into the carrier.
+    let small = v.small.clone();
+    let ls = small
+        .well_sorted(dd.theory().signature())
+        .expect("well-sorted");
+    assert_eq!(dd.theory().signature().poset().name(ls), "Size");
+}
+
+#[test]
+fn osa_rewriting_underpins_data_values() {
+    // A data domain with actual equations: flags under negation,
+    // not(not(x)) = x — and the ontonomy layer can canonicalize
+    // attribute values through it.
+    let mut b = summa_osa::signature::SignatureBuilder::new();
+    let flag = b.sort("Flag");
+    let on = b.op("on", &[], flag);
+    let off = b.op("off", &[], flag);
+    let not = b.op("not", &[flag], flag);
+    let sig = b.finish().expect("signature ok");
+    let mut th = Theory::new(sig.clone());
+    th.add_equation(Equation::new(
+        Term::app(not, vec![Term::constant(on)]),
+        Term::constant(off),
+    ))
+    .expect("valid equation");
+    th.add_equation(Equation::new(
+        Term::app(not, vec![Term::constant(off)]),
+        Term::constant(on),
+    ))
+    .expect("valid equation");
+    let rs = RewriteSystem::from_theory(&th).expect("orientable");
+    // not(not(on)) normalizes to on.
+    let t = Term::app(not, vec![Term::app(not, vec![Term::constant(on)])]);
+    let nf = rs.normal_form(&t, 100).expect("terminates");
+    assert_eq!(nf, Term::constant(on));
+    // The system is locally confluent (no overlapping lhss).
+    assert!(rs.is_locally_confluent(100).expect("within budget"));
+}
+
+#[test]
+fn intensional_relations_respect_the_enumerated_world_space() {
+    let mut dom = Domain::new();
+    let blocks: Vec<_> = ["a", "b", "c"].iter().map(|n| dom.elem(n)).collect();
+    // 3 columns × 2 heights: some worlds stack blocks (non-empty
+    // aboveness), some spread them across columns (empty aboveness).
+    let space = WorldSpace::enumerate_blocks(&blocks, 3, 2);
+    let above = IntensionalRelation::aboveness("above", &dom, &space).expect("structured");
+    // In every world, aboveness is a strict partial order on blocks:
+    // irreflexive and antisymmetric.
+    for w in 0..space.len() {
+        let ext = above.at(w).expect("world exists");
+        for &a in &blocks {
+            assert!(!ext.contains(&[a, a]), "irreflexive");
+            for &b in &blocks {
+                if a != b {
+                    assert!(
+                        !(ext.contains(&[a, b]) && ext.contains(&[b, a])),
+                        "antisymmetric"
+                    );
+                }
+            }
+        }
+    }
+    // Some world has a non-empty extension, some world an empty one.
+    let n_nonempty = (0..space.len())
+        .filter(|&w| !above.at(w).expect("world").is_empty())
+        .count();
+    assert!(n_nonempty > 0 && n_nonempty < space.len());
+}
+
+#[test]
+fn guarino_judgments_use_the_bcm_style_models_coherently() {
+    // Cross-substrate: build an instance model with OSA-valued
+    // attributes, then express the same facts as a finite FOL theory
+    // and check Guarino admission — the layers agree the artifact is
+    // coherent.
+    let v = vehicles_signature().expect("well-formed");
+    let mut mb = InstanceModelBuilder::new();
+    let beetle = mb.object("beetle", v.car);
+    mb.set("size", beetle, Value::Data(v.small.clone()));
+    mb.set("uses", beetle, Value::Data(v.gasoline.clone()));
+    mb.set("wheels", beetle, Value::Data(v.four.clone()));
+    let m = mb.finish();
+    assert!(v.ontonomy.is_model(&m).is_ok());
+
+    // FOL mirror: car(beetle) ∧ small_sized(beetle).
+    let mut lang = Language::new();
+    let car_p = lang.predicate("car", 1);
+    let small_p = lang.predicate("small_sized", 1);
+    let beetle_c = lang.constant("beetle");
+    let mut dom = Domain::new();
+    dom.elem("beetle");
+    let axioms = vec![
+        Formula::Pred(car_p, vec![TermRef::Const(beetle_c)]),
+        Formula::Pred(small_p, vec![TermRef::Const(beetle_c)]),
+    ];
+    let models = enumerate_models(&lang, &dom, 10_000).expect("small space");
+    let satisfying = models
+        .iter()
+        .filter(|m| m.satisfies_all(&dom, &axioms).unwrap_or(false))
+        .count();
+    assert!(satisfying > 0, "the FOL mirror is satisfiable");
+}
