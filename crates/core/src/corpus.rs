@@ -2,7 +2,6 @@
 //! very well structured grocery list, to a tax return form would
 //! qualify."
 
-use serde::Serialize;
 use summa_dl::prelude::{vehicles_tbox, PaperVocab, TBox, Vocabulary};
 use summa_intensional::formula::{Formula, Language, TermRef};
 use summa_intensional::prelude::Domain;
@@ -139,7 +138,7 @@ impl Artifact {
 }
 
 /// Provenance notes shown alongside corpus entries in reports.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CorpusNote {
     /// Artifact name.
     pub name: String,

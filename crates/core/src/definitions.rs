@@ -2,7 +2,6 @@
 //! machine-checkable admission judges.
 
 use crate::corpus::Artifact;
-use serde::Serialize;
 use summa_intensional::commitment::{
     judge_ontonomy, AdmissionLevel, OntologicalCommitment,
 };
@@ -13,7 +12,7 @@ use summa_intensional::world::WorldSpace;
 const MODEL_BUDGET: u64 = 200_000;
 
 /// The verdict of one definition on one artifact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// The artifact qualifies as an ontonomy under the definition.
     Admitted,
@@ -22,15 +21,23 @@ pub enum Verdict {
     /// The definition cannot decide on structural grounds at all —
     /// the paper's charge against functional definitions.
     Undecidable,
+    /// The cell could not be *evaluated*: the judge panicked or ran
+    /// out of resources. Unlike [`Verdict::Undecidable`] this says
+    /// nothing about the definition — the run degraded, the question
+    /// stands.
+    Unknown,
 }
 
 /// A judgment with its reason.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Judgment {
     /// The verdict.
     pub verdict: Verdict,
     /// Why.
     pub reason: String,
+    /// Resources consumed producing this judgment, when the run was
+    /// metered (see [`crate::critique::syntactic_critique_governed`]).
+    pub spend: Option<summa_guard::Spend>,
 }
 
 impl Judgment {
@@ -38,19 +45,37 @@ impl Judgment {
         Judgment {
             verdict: Verdict::Admitted,
             reason: reason.into(),
+            spend: None,
         }
     }
     fn rejected(reason: impl Into<String>) -> Self {
         Judgment {
             verdict: Verdict::Rejected,
             reason: reason.into(),
+            spend: None,
         }
     }
     fn undecidable(reason: impl Into<String>) -> Self {
         Judgment {
             verdict: Verdict::Undecidable,
             reason: reason.into(),
+            spend: None,
         }
+    }
+
+    /// A degraded cell: the judge could not run to completion.
+    pub fn unknown(reason: impl Into<String>) -> Self {
+        Judgment {
+            verdict: Verdict::Unknown,
+            reason: reason.into(),
+            spend: None,
+        }
+    }
+
+    /// Attach the resources spent producing this judgment.
+    pub fn with_spend(mut self, spend: summa_guard::Spend) -> Self {
+        self.spend = Some(spend);
+        self
     }
 }
 

@@ -1,11 +1,10 @@
 //! Rendering of admission matrices and critique reports.
 
 use crate::definitions::{Judgment, Verdict};
-use serde::Serialize;
 
 /// The artifact × definition admission matrix of the syntactic
 /// critique (experiment E3).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AdmissionMatrix {
     /// Artifact names (rows).
     pub artifacts: Vec<String>,
@@ -41,13 +40,52 @@ impl AdmissionMatrix {
             .count()
     }
 
+    /// How many cells degraded to [`Verdict::Unknown`] (panicked or
+    /// resource-starved judges).
+    pub fn unknown_count(&self) -> usize {
+        self.cells
+            .iter()
+            .flatten()
+            .filter(|j| j.verdict == Verdict::Unknown)
+            .count()
+    }
+
+    /// Total resources spent across all metered cells (cells without
+    /// spend data contribute nothing).
+    pub fn total_spend(&self) -> summa_guard::Spend {
+        let mut total = summa_guard::Spend::default();
+        for j in self.cells.iter().flatten() {
+            if let Some(s) = &j.spend {
+                total.steps += s.steps;
+                total.elapsed += s.elapsed;
+                total.peak_memory = total.peak_memory.max(s.peak_memory);
+            }
+        }
+        total
+    }
+
+    /// Render per-cell resource spend as `artifact × definition:
+    /// spend` lines, listing only metered cells.
+    pub fn render_spend(&self) -> String {
+        let mut out = String::new();
+        for (i, a) in self.artifacts.iter().enumerate() {
+            for (c, d) in self.definitions.iter().enumerate() {
+                if let Some(s) = self.cells[i][c].spend.as_ref() {
+                    out.push_str(&format!("{a} × {d}: {s}\n"));
+                }
+            }
+        }
+        out
+    }
+
     /// Render as a fixed-width text table (✓ admitted, ✗ rejected,
-    /// ? undecidable).
+    /// ? undecidable, ⊘ unknown — the judge itself failed).
     pub fn render(&self) -> String {
         let mark = |v: Verdict| match v {
             Verdict::Admitted => "✓",
             Verdict::Rejected => "✗",
             Verdict::Undecidable => "?",
+            Verdict::Unknown => "⊘",
         };
         let mut out = String::new();
         out.push_str(&format!("{:<26}", "artifact \\ definition"));
@@ -78,10 +116,12 @@ mod tests {
                 Judgment {
                     verdict: Verdict::Admitted,
                     reason: "yes".into(),
+                    spend: None,
                 },
                 Judgment {
                     verdict: Verdict::Undecidable,
                     reason: "depends".into(),
+                    spend: None,
                 },
             ]],
         }
@@ -104,5 +144,37 @@ mod tests {
         assert!(s.contains('✓'));
         assert!(s.contains('?'));
         assert!(s.contains("d1"));
+    }
+
+    #[test]
+    fn unknown_cells_are_counted_and_marked() {
+        let mut m = tiny();
+        m.cells[0][1] = Judgment::unknown("judge panicked");
+        assert_eq!(m.unknown_count(), 1);
+        assert!(m.render().contains('⊘'));
+        assert!(!m.admitted("a", "d2"));
+    }
+
+    #[test]
+    fn spend_is_aggregated_and_rendered() {
+        use std::time::Duration;
+        let mut m = tiny();
+        m.cells[0][0] = m.cells[0][0].clone().with_spend(summa_guard::Spend {
+            steps: 3,
+            elapsed: Duration::from_millis(2),
+            peak_memory: 7,
+        });
+        m.cells[0][1] = m.cells[0][1].clone().with_spend(summa_guard::Spend {
+            steps: 4,
+            elapsed: Duration::from_millis(1),
+            peak_memory: 2,
+        });
+        let total = m.total_spend();
+        assert_eq!(total.steps, 7);
+        assert_eq!(total.peak_memory, 7);
+        assert_eq!(total.elapsed, Duration::from_millis(3));
+        let s = m.render_spend();
+        assert!(s.contains("a × d1:"));
+        assert!(s.contains("a × d2:"));
     }
 }

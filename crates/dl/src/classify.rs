@@ -7,6 +7,7 @@ use crate::error::Result;
 use crate::tableau::Tableau;
 use crate::tbox::TBox;
 use std::collections::{BTreeMap, BTreeSet};
+use summa_guard::{Budget, Governed};
 
 /// The computed hierarchy: for every named concept, its full set of
 /// named subsumers (reflexive–transitive).
@@ -88,6 +89,18 @@ impl ClassHierarchy {
 pub trait Classifier {
     /// Compute the subsumer sets for all named concepts of the TBox.
     fn classify(&mut self, tbox: &TBox, voc: &Vocabulary) -> Result<ClassHierarchy>;
+
+    /// Budget-governed classification. One envelope bounds the whole
+    /// run (all inner subsumption tests share a single meter); on
+    /// exhaustion or cancellation the partial hierarchy contains the
+    /// subsumptions proved so far — a sound under-approximation in
+    /// which an absent pair means *not proved*, not *disproved*.
+    fn classify_governed(
+        &mut self,
+        tbox: &TBox,
+        voc: &Vocabulary,
+        budget: &Budget,
+    ) -> Governed<ClassHierarchy>;
 }
 
 impl Classifier for Tableau {
@@ -112,6 +125,44 @@ impl Classifier for Tableau {
         }
         Ok(ClassHierarchy { subsumers })
     }
+
+    fn classify_governed(
+        &mut self,
+        tbox: &TBox,
+        _voc: &Vocabulary,
+        budget: &Budget,
+    ) -> Governed<ClassHierarchy> {
+        let atoms: Vec<ConceptId> = tbox.atoms().into_iter().collect();
+        let mut meter = budget.meter();
+        let mut subsumers = BTreeMap::new();
+        for &sub in &atoms {
+            let mut set = BTreeSet::new();
+            for &sup in &atoms {
+                let query = Concept::and(vec![
+                    Concept::atom(sub),
+                    Concept::not(Concept::atom(sup)),
+                ]);
+                match self.sat_metered(&query, &mut meter) {
+                    Ok(sat) => {
+                        if !sat {
+                            set.insert(sup);
+                        }
+                    }
+                    // Keep only fully decided rows: every listed
+                    // subsumer set is then exact, and absent concepts
+                    // are simply undecided.
+                    Err(i) => {
+                        return Governed::from_interrupt(
+                            i,
+                            Some(ClassHierarchy { subsumers }),
+                        )
+                    }
+                }
+            }
+            subsumers.insert(sub, set);
+        }
+        Governed::Completed(ClassHierarchy { subsumers })
+    }
 }
 
 impl Classifier for ElClassifier {
@@ -129,6 +180,29 @@ impl Classifier for ElClassifier {
             subsumers.insert(sub, set);
         }
         Ok(ClassHierarchy { subsumers })
+    }
+
+    fn classify_governed(
+        &mut self,
+        tbox: &TBox,
+        _voc: &Vocabulary,
+        budget: &Budget,
+    ) -> Governed<ClassHierarchy> {
+        let atoms: Vec<ConceptId> = tbox.atoms().into_iter().collect();
+        let mut meter = budget.meter();
+        match self.saturate_metered(&mut meter) {
+            Ok(()) => Governed::Completed(ClassHierarchy {
+                subsumers: self.current_named_subsumers(&atoms),
+            }),
+            // Partial saturation is a sound under-approximation, so
+            // the interrupted hierarchy is still truthful.
+            Err(i) => Governed::from_interrupt(
+                i,
+                Some(ClassHierarchy {
+                    subsumers: self.current_named_subsumers(&atoms),
+                }),
+            ),
+        }
     }
 }
 

@@ -11,6 +11,7 @@ use crate::concept::{Concept, ConceptId, RoleId, Vocabulary};
 use crate::error::{DlError, Result};
 use crate::tbox::TBox;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use summa_guard::{Interrupt, Meter};
 
 /// Internal atom index: user atoms first, then fresh definitional
 /// atoms, then the distinguished ⊤ and ⊥.
@@ -147,8 +148,22 @@ impl ElClassifier {
 
     /// Run the completion rules to fixpoint.
     pub fn saturate(&mut self) {
+        let mut meter = Meter::unlimited();
+        self.saturate_metered(&mut meter)
+            .expect("unlimited meter interrupted");
+    }
+
+    /// Run the completion rules to fixpoint under a [`Meter`],
+    /// charging one step per processed queue entry.
+    ///
+    /// On interrupt the partially saturated subsumer sets are kept:
+    /// completion rules only ever add *entailed* subsumptions, so the
+    /// partial state is a sound under-approximation of the full
+    /// classification (queryable via
+    /// [`ElClassifier::current_named_subsumers`]).
+    pub fn saturate_metered(&mut self, meter: &mut Meter) -> std::result::Result<(), Interrupt> {
         if self.saturated {
-            return;
+            return Ok(());
         }
         let n = self.n_atoms as usize;
         let mut s: Vec<BTreeSet<Atom>> = (0..n)
@@ -193,7 +208,10 @@ impl ElClassifier {
             }
         };
 
-        loop {
+        let outcome = loop {
+            if let Err(i) = meter.charge(1) {
+                break Err(i);
+            }
             if let Some((x, a)) = queue.pop_front() {
                 // CR1: a ⊑ b
                 if let Some(bs) = by_lhs.get(&a) {
@@ -253,10 +271,43 @@ impl ElClassifier {
                 }
                 continue;
             }
-            break;
-        }
+            break Ok(());
+        };
+        // Keep whatever was proved — complete on Ok, a sound partial
+        // under-approximation on interrupt.
         self.subsumers = s;
-        self.saturated = true;
+        self.saturated = outcome.is_ok();
+        outcome
+    }
+
+    /// Named-concept subsumer sets read off the *current* saturation
+    /// state: complete after [`ElClassifier::saturate`], a sound
+    /// under-approximation after an interrupted
+    /// [`ElClassifier::saturate_metered`]. Reflexive pairs are always
+    /// present.
+    pub fn current_named_subsumers(
+        &self,
+        atoms: &[ConceptId],
+    ) -> BTreeMap<ConceptId, BTreeSet<ConceptId>> {
+        let mut out = BTreeMap::new();
+        for &sub in atoms {
+            let mut set = BTreeSet::new();
+            set.insert(sub);
+            if let Some(&sa) = self.user.get(&sub) {
+                if let Some(sset) = self.subsumers.get(sa as usize) {
+                    let unsat = sset.contains(&self.bottom);
+                    for &sup in atoms {
+                        if let Some(&ba) = self.user.get(&sup) {
+                            if unsat || sset.contains(&ba) {
+                                set.insert(sup);
+                            }
+                        }
+                    }
+                }
+            }
+            out.insert(sub, set);
+        }
+        out
     }
 
     /// Does `sup` subsume `sub` (both named concepts) under the TBox?

@@ -45,49 +45,50 @@ enum Tok {
     Equals,
 }
 
-fn lex(input: &str) -> Result<Vec<Tok>> {
+/// Tokens paired with the byte offset where each begins.
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
     let mut out = vec![];
-    let mut chars = input.chars().peekable();
-    while let Some(&ch) = chars.peek() {
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(at, ch)) = chars.peek() {
         match ch {
             c if c.is_whitespace() => {
                 chars.next();
             }
             '&' | '⊓' => {
                 chars.next();
-                out.push(Tok::Amp);
+                out.push((Tok::Amp, at));
             }
             '|' | '⊔' => {
                 chars.next();
-                out.push(Tok::Pipe);
+                out.push((Tok::Pipe, at));
             }
             '~' | '¬' => {
                 chars.next();
-                out.push(Tok::Tilde);
+                out.push((Tok::Tilde, at));
             }
             '.' => {
                 chars.next();
-                out.push(Tok::Dot);
+                out.push((Tok::Dot, at));
             }
             '(' => {
                 chars.next();
-                out.push(Tok::LParen);
+                out.push((Tok::LParen, at));
             }
             ')' => {
                 chars.next();
-                out.push(Tok::RParen);
+                out.push((Tok::RParen, at));
             }
             '<' | '⊑' => {
                 chars.next();
-                out.push(Tok::Less);
+                out.push((Tok::Less, at));
             }
             '=' | '≡' => {
                 chars.next();
-                out.push(Tok::Equals);
+                out.push((Tok::Equals, at));
             }
             c if c.is_ascii_digit() => {
                 let mut n: u32 = 0;
-                while let Some(&d) = chars.peek() {
+                while let Some(&(_, d)) = chars.peek() {
                     if let Some(v) = d.to_digit(10) {
                         n = n * 10 + v;
                         chars.next();
@@ -95,11 +96,11 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                         break;
                     }
                 }
-                out.push(Tok::Num(n));
+                out.push((Tok::Num(n), at));
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let mut s = String::new();
-                while let Some(&d) = chars.peek() {
+                while let Some(&(_, d)) = chars.peek() {
                     if d.is_alphanumeric() || d == '_' {
                         s.push(d);
                         chars.next();
@@ -107,12 +108,13 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                         break;
                     }
                 }
-                out.push(Tok::Name(s));
+                out.push((Tok::Name(s), at));
             }
             other => {
                 return Err(DlError::Parse {
                     input: input.to_string(),
                     detail: format!("unexpected character '{other}'"),
+                    offset: at,
                 })
             }
         }
@@ -121,26 +123,36 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
 }
 
 struct Parser<'a> {
-    toks: Vec<Tok>,
+    toks: Vec<(Tok, usize)>,
     pos: usize,
     voc: &'a mut Vocabulary,
     input: String,
 }
 
 impl<'a> Parser<'a> {
-    fn err(&self, detail: impl Into<String>) -> DlError {
+    /// Byte offset of the token at `pos` (end of input when past the
+    /// last token) — what error messages point at.
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, at)| at)
+            .unwrap_or(self.input.len())
+    }
+
+    fn err_at(&self, offset: usize, detail: impl Into<String>) -> DlError {
         DlError::Parse {
             input: self.input.clone(),
             detail: detail.into(),
+            offset,
         }
     }
 
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos)
+        self.toks.get(self.pos).map(|(t, _)| t)
     }
 
     fn next(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).cloned();
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -148,66 +160,75 @@ impl<'a> Parser<'a> {
     }
 
     fn expect(&mut self, t: &Tok) -> Result<()> {
+        let at = self.offset();
         match self.next() {
             Some(got) if got == *t => Ok(()),
-            got => Err(self.err(format!("expected {t:?}, got {got:?}"))),
+            got => Err(self.err_at(at, format!("expected {t:?}, got {got:?}"))),
         }
     }
 
     fn concept(&mut self) -> Result<Concept> {
-        let mut parts = vec![self.conj()?];
+        let first = self.conj()?;
+        if self.peek() != Some(&Tok::Pipe) {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
         while self.peek() == Some(&Tok::Pipe) {
             self.next();
             parts.push(self.conj()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("len checked")
-        } else {
-            Concept::or(parts)
-        })
+        Ok(Concept::or(parts))
     }
 
     fn conj(&mut self) -> Result<Concept> {
-        let mut parts = vec![self.unary()?];
+        let first = self.unary()?;
+        if self.peek() != Some(&Tok::Amp) {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
         while self.peek() == Some(&Tok::Amp) {
             self.next();
             parts.push(self.unary()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("len checked")
-        } else {
-            Concept::and(parts)
-        })
+        Ok(Concept::and(parts))
     }
 
-    fn quantified(&mut self, kw: &str) -> Result<Concept> {
+    fn quantified(&mut self, kw: &str, kw_at: usize) -> Result<Concept> {
         // after 'some'/'all': ROLE '.' unary
         // after 'atleast'/'atmost'/'exactly': N ROLE '.' unary
         let n = if matches!(kw, "atleast" | "atmost" | "exactly") {
+            let at = self.offset();
             match self.next() {
                 Some(Tok::Num(n)) => Some(n),
-                got => return Err(self.err(format!("expected number after '{kw}', got {got:?}"))),
+                got => {
+                    return Err(
+                        self.err_at(at, format!("expected number after '{kw}', got {got:?}"))
+                    )
+                }
             }
         } else {
             None
         };
+        let at = self.offset();
         let role = match self.next() {
             Some(Tok::Name(r)) => self.voc.role(&r),
-            got => return Err(self.err(format!("expected role after '{kw}', got {got:?}"))),
+            got => return Err(self.err_at(at, format!("expected role after '{kw}', got {got:?}"))),
         };
         self.expect(&Tok::Dot)?;
         let inner = self.unary()?;
+        let n = || n.ok_or_else(|| self.err_at(kw_at, format!("'{kw}' requires a count")));
         Ok(match kw {
             "some" => Concept::exists(role, inner),
             "all" => Concept::forall(role, inner),
-            "atleast" => Concept::at_least(n.expect("parsed above"), role, inner),
-            "atmost" => Concept::at_most(n.expect("parsed above"), role, inner),
-            "exactly" => Concept::exactly(n.expect("parsed above"), role, inner),
-            _ => unreachable!("caller passes only quantifier keywords"),
+            "atleast" => Concept::at_least(n()?, role, inner),
+            "atmost" => Concept::at_most(n()?, role, inner),
+            "exactly" => Concept::exactly(n()?, role, inner),
+            other => return Err(self.err_at(kw_at, format!("unknown quantifier '{other}'"))),
         })
     }
 
     fn unary(&mut self) -> Result<Concept> {
+        let at = self.offset();
         match self.next() {
             Some(Tok::Tilde) => Ok(Concept::not(self.unary()?)),
             Some(Tok::LParen) => {
@@ -220,11 +241,11 @@ impl<'a> Parser<'a> {
                 "bottom" => Ok(Concept::Bottom),
                 kw @ ("some" | "all" | "atleast" | "atmost" | "exactly") => {
                     let kw = kw.to_string();
-                    self.quantified(&kw)
+                    self.quantified(&kw, at)
                 }
                 _ => Ok(Concept::atom(self.voc.concept(&name))),
             },
-            got => Err(self.err(format!("expected concept, got {got:?}"))),
+            got => Err(self.err_at(at, format!("expected concept, got {got:?}"))),
         }
     }
 }
@@ -239,7 +260,7 @@ pub fn parse_concept(input: &str, voc: &mut Vocabulary) -> Result<Concept> {
     };
     let c = p.concept()?;
     if p.pos != p.toks.len() {
-        return Err(p.err("trailing tokens"));
+        return Err(p.err_at(p.offset(), "trailing tokens"));
     }
     Ok(c)
 }
@@ -253,15 +274,16 @@ pub fn parse_axiom(input: &str, voc: &mut Vocabulary) -> Result<Axiom> {
         input: input.to_string(),
     };
     let lhs = p.concept()?;
+    let op_at = p.offset();
     let op = p.next();
     let rhs = p.concept()?;
     if p.pos != p.toks.len() {
-        return Err(p.err("trailing tokens"));
+        return Err(p.err_at(p.offset(), "trailing tokens"));
     }
     match op {
         Some(Tok::Less) => Ok(Axiom::Subsume { lhs, rhs }),
         Some(Tok::Equals) => Ok(Axiom::Equiv { lhs, rhs }),
-        got => Err(p.err(format!("expected '<' or '=', got {got:?}"))),
+        got => Err(p.err_at(op_at, format!("expected '<' or '=', got {got:?}"))),
     }
 }
 
@@ -341,6 +363,28 @@ mod tests {
         assert!(matches!(ax, Axiom::Subsume { .. }));
         let c = parse_concept("¬a ⊔ b", &mut v).unwrap();
         assert!(matches!(c, Concept::Or(_)));
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        let mut v = Vocabulary::new();
+        match parse_concept("a @ b", &mut v) {
+            Err(DlError::Parse { offset, .. }) => assert_eq!(offset, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match parse_concept("a &", &mut v) {
+            // Unexpected end of input points one past the last byte.
+            Err(DlError::Parse { offset, .. }) => assert_eq!(offset, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match parse_concept("some .x", &mut v) {
+            Err(DlError::Parse { offset, .. }) => assert_eq!(offset, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match parse_axiom("a ~ b", &mut v) {
+            Err(DlError::Parse { offset, .. }) => assert_eq!(offset, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::error::Result;
 use crate::tableau::Tableau;
 use crate::tbox::TBox;
 use std::collections::{BTreeMap, BTreeSet};
+use summa_guard::{Budget, Governed, Interrupt, Meter};
 
 /// The realization of an ABox: per individual, all entailed named
 /// concepts (the *types*) and the most specific ones.
@@ -95,6 +96,105 @@ pub fn realize(tbox: &TBox, abox: &ABox, voc: &Vocabulary) -> Result<Realization
         types,
         most_specific,
     })
+}
+
+/// Budget-governed realization: one envelope bounds every entailment
+/// check in the run. On exhaustion or cancellation the partial
+/// [`Realization`] covers the individuals fully realized before the
+/// interrupt — untouched individuals are simply absent (empty type
+/// sets), never misreported.
+pub fn realize_governed(
+    tbox: &TBox,
+    abox: &ABox,
+    voc: &Vocabulary,
+    budget: &Budget,
+) -> Governed<Realization> {
+    let mut reasoner = Tableau::new(tbox, voc);
+    let mut meter = budget.meter();
+    let mut types: BTreeMap<Individual, BTreeSet<ConceptId>> = BTreeMap::new();
+    let mut most_specific: BTreeMap<Individual, BTreeSet<ConceptId>> = BTreeMap::new();
+    match realize_metered(
+        tbox,
+        abox,
+        voc,
+        &mut reasoner,
+        &mut meter,
+        &mut types,
+        &mut most_specific,
+    ) {
+        Ok(()) => Governed::Completed(Realization {
+            types,
+            most_specific,
+        }),
+        Err(i) => Governed::from_interrupt(
+            i,
+            Some(Realization {
+                types,
+                most_specific,
+            }),
+        ),
+    }
+}
+
+/// The metered realization loop: fills `types` and `most_specific`
+/// one *complete* individual at a time so an interrupt leaves only
+/// fully decided rows behind.
+fn realize_metered(
+    _tbox: &TBox,
+    abox: &ABox,
+    voc: &Vocabulary,
+    reasoner: &mut Tableau,
+    meter: &mut Meter,
+    types: &mut BTreeMap<Individual, BTreeSet<ConceptId>>,
+    most_specific: &mut BTreeMap<Individual, BTreeSet<ConceptId>>,
+) -> std::result::Result<(), Interrupt> {
+    let atoms: Vec<ConceptId> = voc.concepts().collect();
+    for ind in abox.individuals() {
+        let mut set = BTreeSet::new();
+        for &c in &atoms {
+            let mut extended = abox.clone();
+            extended.assert_concept(ind, Concept::not(Concept::atom(c)));
+            if !reasoner.consistent_metered(&extended, meter)? {
+                set.insert(c);
+            }
+        }
+        // Most specific among the entailed types, decided before the
+        // row is published so partial results never hold an
+        // unfiltered set.
+        let mut specific = BTreeSet::new();
+        for &c in &set {
+            let mut dominated = false;
+            for &d in &set {
+                if d == c {
+                    continue;
+                }
+                let c_subsumes_d = !reasoner.sat_metered(
+                    &Concept::and(vec![
+                        Concept::atom(d),
+                        Concept::not(Concept::atom(c)),
+                    ]),
+                    meter,
+                )?;
+                let d_subsumes_c = !reasoner.sat_metered(
+                    &Concept::and(vec![
+                        Concept::atom(c),
+                        Concept::not(Concept::atom(d)),
+                    ]),
+                    meter,
+                )?;
+                if c_subsumes_d && !d_subsumes_c {
+                    dominated = true;
+                    break;
+                }
+            }
+            if !dominated {
+                specific.insert(c);
+            }
+        }
+        types.insert(ind, set);
+        most_specific.insert(ind, specific);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -19,9 +19,32 @@ use crate::concept::{Concept, RoleId, Vocabulary};
 use crate::error::{DlError, Result};
 use crate::tbox::TBox;
 use std::collections::{BTreeMap, BTreeSet};
+use summa_guard::{Budget, Governed, Interrupt, Meter};
 
 /// Default node budget per satisfiability call.
 pub const DEFAULT_NODE_BUDGET: usize = 20_000;
+
+/// Why the expansion loop stopped early: the reasoner's own node
+/// budget (legacy API), or the caller's [`Budget`] envelope.
+enum Stop {
+    NodeBudget,
+    Interrupted(Interrupt),
+}
+
+impl From<Interrupt> for Stop {
+    fn from(i: Interrupt) -> Self {
+        Stop::Interrupted(i)
+    }
+}
+
+/// Lift a metered result into a [`Governed`] outcome (boolean queries
+/// have no partial answer).
+fn governed_outcome<T>(r: std::result::Result<T, Interrupt>) -> Governed<T> {
+    match r {
+        Ok(v) => Governed::Completed(v),
+        Err(i) => Governed::from_interrupt(i, None),
+    }
+}
 
 /// A tableau reasoner bound to one TBox.
 #[derive(Debug, Clone)]
@@ -234,6 +257,44 @@ impl Tableau {
 
     /// Fallible satisfiability (reports budget exhaustion).
     pub fn try_is_satisfiable(&mut self, c: &Concept) -> Result<bool> {
+        let mut meter = Meter::unlimited();
+        match self.sat_inner(c, self.budget, &mut meter) {
+            Ok(sat) => Ok(sat),
+            Err(Stop::NodeBudget) => Err(DlError::NodeBudgetExceeded {
+                budget: self.budget,
+            }),
+            // An unlimited meter never interrupts.
+            Err(Stop::Interrupted(_)) => unreachable!("unlimited meter interrupted"),
+        }
+    }
+
+    /// Budget-governed satisfiability: runs entirely under the caller's
+    /// envelope (the reasoner's own node budget does not apply) and
+    /// reports exhaustion/cancellation instead of erroring or hanging.
+    /// A boolean query has no meaningful partial answer, so the
+    /// non-completed outcomes carry `partial: None`.
+    pub fn is_satisfiable_governed(&mut self, c: &Concept, budget: &Budget) -> Governed<bool> {
+        let mut meter = budget.meter();
+        let r = self.sat_metered(c, &mut meter);
+        governed_outcome(r)
+    }
+
+    /// Metered satisfiability for composite services (classification,
+    /// realization) that share one [`Meter`] across many inner calls.
+    pub fn sat_metered(&mut self, c: &Concept, meter: &mut Meter) -> std::result::Result<bool, Interrupt> {
+        match self.sat_inner(c, usize::MAX, meter) {
+            Ok(sat) => Ok(sat),
+            Err(Stop::Interrupted(i)) => Err(i),
+            Err(Stop::NodeBudget) => unreachable!("node cap disabled in metered mode"),
+        }
+    }
+
+    fn sat_inner(
+        &mut self,
+        c: &Concept,
+        node_cap: usize,
+        meter: &mut Meter,
+    ) -> std::result::Result<bool, Stop> {
         let nnf = c.nnf();
         if let Some(&r) = self.cache.get(&nnf) {
             return Ok(r);
@@ -243,7 +304,12 @@ impl Tableau {
         label.insert(nnf.clone());
         label.extend(self.universal.iter().cloned());
         st.add_node(label, None);
-        let sat = matches!(self.expand(st, &mut 0)?, Outcome::Satisfiable);
+        let sat = matches!(
+            self.expand(st, node_cap, &mut 0, meter)?,
+            Outcome::Satisfiable
+        );
+        // Only completed searches are memoized: a budget-interrupted
+        // run has no answer to cache (and never reaches this line).
         self.cache.insert(nnf, sat);
         Ok(sat)
     }
@@ -254,6 +320,19 @@ impl Tableau {
             sub.clone(),
             Concept::not(sup.clone()),
         ]))
+    }
+
+    /// Budget-governed subsumption check (`sub ⊑ sup`).
+    pub fn subsumes_governed(
+        &mut self,
+        sup: &Concept,
+        sub: &Concept,
+        budget: &Budget,
+    ) -> Governed<bool> {
+        let query = Concept::and(vec![sub.clone(), Concept::not(sup.clone())]);
+        let mut meter = budget.meter();
+        let r = self.sat_metered(&query, &mut meter).map(|sat| !sat);
+        governed_outcome(r)
     }
 
     /// Are `a` and `b` equivalent w.r.t. the TBox?
@@ -274,6 +353,42 @@ impl Tableau {
 
     /// Fallible ABox consistency.
     pub fn try_is_consistent(&mut self, abox: &ABox) -> Result<bool> {
+        let mut meter = Meter::unlimited();
+        match self.consistent_inner(abox, self.budget, &mut meter) {
+            Ok(sat) => Ok(sat),
+            Err(Stop::NodeBudget) => Err(DlError::NodeBudgetExceeded {
+                budget: self.budget,
+            }),
+            Err(Stop::Interrupted(_)) => unreachable!("unlimited meter interrupted"),
+        }
+    }
+
+    /// Budget-governed ABox consistency.
+    pub fn is_consistent_governed(&mut self, abox: &ABox, budget: &Budget) -> Governed<bool> {
+        let mut meter = budget.meter();
+        let r = self.consistent_metered(abox, &mut meter);
+        governed_outcome(r)
+    }
+
+    /// Metered ABox consistency, for services sharing one [`Meter`].
+    pub fn consistent_metered(
+        &mut self,
+        abox: &ABox,
+        meter: &mut Meter,
+    ) -> std::result::Result<bool, Interrupt> {
+        match self.consistent_inner(abox, usize::MAX, meter) {
+            Ok(sat) => Ok(sat),
+            Err(Stop::Interrupted(i)) => Err(i),
+            Err(Stop::NodeBudget) => unreachable!("node cap disabled in metered mode"),
+        }
+    }
+
+    fn consistent_inner(
+        &mut self,
+        abox: &ABox,
+        node_cap: usize,
+        meter: &mut Meter,
+    ) -> std::result::Result<bool, Stop> {
         let mut st = State::new();
         let mut index: BTreeMap<u32, usize> = BTreeMap::new();
         for ind in abox.individuals() {
@@ -297,7 +412,10 @@ impl Tableau {
             let (ia, ib) = (index[&a.0], index[&b.0]);
             st.nodes[ia].edges.push((*r, ib));
         }
-        Ok(matches!(self.expand(st, &mut 0)?, Outcome::Satisfiable))
+        Ok(matches!(
+            self.expand(st, node_cap, &mut 0, meter)?,
+            Outcome::Satisfiable
+        ))
     }
 
     /// Instance check: does the ABox entail `c(a)`?
@@ -307,6 +425,23 @@ impl Tableau {
         !self.is_consistent(&extended)
     }
 
+    /// Budget-governed instance check.
+    pub fn is_instance_governed(
+        &mut self,
+        abox: &ABox,
+        a: crate::abox::Individual,
+        c: &Concept,
+        budget: &Budget,
+    ) -> Governed<bool> {
+        let mut extended = abox.clone();
+        extended.assert_concept(a, Concept::not(c.clone()));
+        let mut meter = budget.meter();
+        let r = self
+            .consistent_metered(&extended, &mut meter)
+            .map(|consistent| !consistent);
+        governed_outcome(r)
+    }
+
     // ------------------------------------------------------------------
     // The expansion loop.
     // ------------------------------------------------------------------
@@ -314,15 +449,27 @@ impl Tableau {
     /// Iterative depth-first search over completion states (explicit
     /// stack, so deeply nested nondeterminism cannot overflow the call
     /// stack).
-    fn expand(&self, st: State, created: &mut usize) -> Result<Outcome> {
+    ///
+    /// `node_cap` is the legacy per-call node budget
+    /// ([`Stop::NodeBudget`] when exceeded); `meter` is the caller's
+    /// governance envelope, charged one step per search state popped,
+    /// per rule application, and per node created.
+    fn expand(
+        &self,
+        st: State,
+        node_cap: usize,
+        created: &mut usize,
+        meter: &mut Meter,
+    ) -> std::result::Result<Outcome, Stop> {
         let mut stack: Vec<State> = vec![st];
         'states: while let Some(mut st) = stack.pop() {
+            meter.charge(1)?;
             // Deterministic rules to fixpoint, abandoning on clash.
             loop {
                 if (0..st.nodes.len()).any(|x| st.nodes[x].alive && st.has_clash(x)) {
                     continue 'states;
                 }
-                if !self.apply_deterministic(&mut st, created)? {
+                if !self.apply_deterministic(&mut st, node_cap, created, meter)? {
                     break;
                 }
             }
@@ -341,7 +488,14 @@ impl Tableau {
 
     /// Apply one round of deterministic rules. Returns `true` when
     /// anything changed.
-    fn apply_deterministic(&self, st: &mut State, created: &mut usize) -> Result<bool> {
+    fn apply_deterministic(
+        &self,
+        st: &mut State,
+        node_cap: usize,
+        created: &mut usize,
+        meter: &mut Meter,
+    ) -> std::result::Result<bool, Stop> {
+        meter.charge(1)?;
         let n = st.nodes.len();
         for x in 0..n {
             if !st.nodes[x].alive {
@@ -390,7 +544,7 @@ impl Tableau {
                             .into_iter()
                             .any(|y| st.nodes[y].label.contains(d.as_ref()));
                         if !has {
-                            self.spawn_child(st, x, *r, [d.as_ref().clone()], created)?;
+                            self.spawn_child(st, x, *r, [d.as_ref().clone()], node_cap, created, meter)?;
                             return Ok(true);
                         }
                     }
@@ -410,7 +564,7 @@ impl Tableau {
                             let mut fresh = vec![];
                             for _ in with_d.len() as u32..*k {
                                 let id =
-                                    self.spawn_child(st, x, *r, [d.as_ref().clone()], created)?;
+                                    self.spawn_child(st, x, *r, [d.as_ref().clone()], node_cap, created, meter)?;
                                 fresh.push(id);
                             }
                             // New witnesses pairwise distinct, and distinct
@@ -433,20 +587,23 @@ impl Tableau {
         Ok(false)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn spawn_child(
         &self,
         st: &mut State,
         x: usize,
         r: RoleId,
         seed: impl IntoIterator<Item = Concept>,
+        node_cap: usize,
         created: &mut usize,
-    ) -> Result<usize> {
+        meter: &mut Meter,
+    ) -> std::result::Result<usize, Stop> {
         *created += 1;
-        if *created > self.budget {
-            return Err(DlError::NodeBudgetExceeded {
-                budget: self.budget,
-            });
+        if *created > node_cap {
+            return Err(Stop::NodeBudget);
         }
+        meter.charge(1)?;
+        meter.charge_memory(1)?;
         let mut label: BTreeSet<Concept> = seed.into_iter().collect();
         label.extend(self.universal.iter().cloned());
         // ∀-propagation into the new node.

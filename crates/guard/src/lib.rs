@@ -1,0 +1,684 @@
+//! Resource governance for the reasoning substrates.
+//!
+//! Every engine in this workspace — the ALC tableau, Knuth–Bendix
+//! rewriting, subgraph-isomorphism search — is worst-case explosive or
+//! outright non-terminating. A production critique pipeline cannot let
+//! a pathological input hang or panic the whole admission matrix, so
+//! every long-running entry point runs under an explicit [`Budget`]
+//! and reports its outcome as a [`Governed<T>`]: either the complete
+//! answer, or a truthful partial answer tagged with *why* the engine
+//! stopped.
+//!
+//! The pieces:
+//!
+//! * [`Budget`] — an immutable resource envelope: step limit,
+//!   wall-clock deadline, memory proxy limit, a cooperative
+//!   [`CancelToken`], and an optional [`FaultPlan`] for failure
+//!   injection in tests.
+//! * [`Meter`] — the mutable spend tracker an engine carries through
+//!   its inner loop. `meter.charge(n)?` is the single cheap call sites
+//!   make; it returns an [`Interrupt`] when the envelope is exceeded.
+//! * [`Governed<T>`] — the three-way outcome
+//!   (`Completed | Exhausted | Cancelled`), with the partial result
+//!   preserved where one exists.
+//! * [`Spend`] — how much of the envelope a computation actually used,
+//!   surfaced per-cell in the admission matrix report.
+//!
+//! The idiomatic plumbing pattern used across the substrates:
+//!
+//! ```text
+//! fn work_metered(…, meter: &mut Meter) -> Result<T, Interrupt>   // internal
+//! pub fn work_governed(…, budget: &Budget) -> Governed<T>         // public
+//! ```
+//!
+//! Composite services (classification, realization, the critiques)
+//! share one `Meter` across all their inner calls so the envelope
+//! bounds the *whole* service, not each sub-call separately.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in charged steps) the meter re-checks the wall clock and
+/// the cancel flag. `Instant::now()` and the atomic load are cheap but
+/// not free; engines charge in the innermost loop.
+const CHECK_INTERVAL: u64 = 64;
+
+// ---------------------------------------------------------------------
+// CancelToken
+// ---------------------------------------------------------------------
+
+/// A cheap, cloneable cooperative cancellation flag.
+///
+/// Clone the token, hand one clone to the computation (inside a
+/// [`Budget`]) and keep the other; calling [`cancel`](Self::cancel)
+/// makes every in-flight governed computation holding the twin return
+/// [`Governed::Cancelled`] at its next meter check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------
+
+/// Deterministic failure injection for testing degradation paths.
+///
+/// A plan can force exhaustion at an exact step
+/// ([`fail_at_step`](Self::fail_at_step)) and/or fail each charged
+/// step with a fixed probability drawn from a seeded generator
+/// ([`probabilistic`](Self::probabilistic)). Injected faults surface
+/// as [`ExhaustionReason::FaultInjected`] — never as a panic.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    fail_at: Option<u64>,
+    /// Probability scaled to u64::MAX; 0 disables.
+    per_step_threshold: u64,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Fail the computation once its step count reaches `step`.
+    pub fn fail_at_step(step: u64) -> Self {
+        FaultPlan {
+            fail_at: Some(step),
+            ..Default::default()
+        }
+    }
+
+    /// Fail each charged step independently with probability `p`
+    /// (clamped to `[0, 1]`), using `seed` for reproducibility.
+    pub fn probabilistic(p: f64, seed: u64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        FaultPlan {
+            fail_at: None,
+            per_step_threshold: (p * u64::MAX as f64) as u64,
+            seed,
+        }
+    }
+
+    fn should_fail(&self, step: u64, rng_state: &mut u64) -> bool {
+        if let Some(at) = self.fail_at {
+            if step >= at {
+                return true;
+            }
+        }
+        if self.per_step_threshold > 0 {
+            // SplitMix64: deterministic stream from the seed.
+            *rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *rng_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            return z < self.per_step_threshold;
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Budget
+// ---------------------------------------------------------------------
+
+/// An immutable resource envelope for one governed computation.
+///
+/// Build by chaining: `Budget::new().with_steps(1_000).with_deadline(
+/// Duration::from_millis(10))`. A default budget is unlimited.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    max_steps: Option<u64>,
+    max_duration: Option<Duration>,
+    max_memory: Option<u64>,
+    cancel: Option<CancelToken>,
+    fault: Option<FaultPlan>,
+}
+
+impl Budget {
+    /// An unlimited budget: the computation runs to completion (or
+    /// until cancelled, if a token is attached later).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Alias for [`Budget::new`]; reads better at call sites that
+    /// explicitly want no limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Limit the number of abstract steps (nodes created, rewrites
+    /// applied, search states visited — each engine documents its
+    /// step unit).
+    pub fn with_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Limit wall-clock time. The deadline starts when the [`Meter`]
+    /// is created, i.e. when the governed call begins.
+    pub fn with_deadline(mut self, max_duration: Duration) -> Self {
+        self.max_duration = Some(max_duration);
+        self
+    }
+
+    /// Limit the memory *proxy*: engines charge this counter with
+    /// their dominant allocation unit (tableau nodes, union-find
+    /// entries, …). It is not an allocator hook.
+    pub fn with_memory(mut self, max_units: u64) -> Self {
+        self.max_memory = Some(max_units);
+        self
+    }
+
+    /// Attach a cooperative cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a fault-injection plan (tests only).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The configured step limit, if any.
+    pub fn max_steps(&self) -> Option<u64> {
+        self.max_steps
+    }
+
+    /// The configured deadline duration, if any.
+    pub fn max_duration(&self) -> Option<Duration> {
+        self.max_duration
+    }
+
+    /// Start metering against this budget.
+    pub fn meter(&self) -> Meter {
+        Meter::new(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interrupt & reasons
+// ---------------------------------------------------------------------
+
+/// Which envelope wall the computation hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustionReason {
+    /// The step limit was spent.
+    Steps,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The memory-proxy limit was spent.
+    Memory,
+    /// A [`FaultPlan`] forced exhaustion.
+    FaultInjected,
+}
+
+impl fmt::Display for ExhaustionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExhaustionReason::Steps => write!(f, "step budget exhausted"),
+            ExhaustionReason::Deadline => write!(f, "deadline exceeded"),
+            ExhaustionReason::Memory => write!(f, "memory budget exhausted"),
+            ExhaustionReason::FaultInjected => write!(f, "injected fault"),
+        }
+    }
+}
+
+/// Why a metered computation stopped early. Internal `*_metered`
+/// functions return `Result<T, Interrupt>`; the public wrapper turns
+/// this into a [`Governed<T>`] carrying whatever partial result the
+/// engine could salvage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// A resource limit was hit.
+    Exhausted(ExhaustionReason),
+    /// The [`CancelToken`] fired.
+    Cancelled,
+}
+
+impl fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interrupt::Exhausted(r) => write!(f, "{r}"),
+            Interrupt::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for Interrupt {}
+
+// ---------------------------------------------------------------------
+// Spend
+// ---------------------------------------------------------------------
+
+/// How much of the envelope a computation actually used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Spend {
+    /// Abstract steps charged.
+    pub steps: u64,
+    /// Wall-clock time from meter creation to the last observation.
+    pub elapsed: Duration,
+    /// Peak memory-proxy units charged.
+    pub peak_memory: u64,
+}
+
+impl fmt::Display for Spend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} steps in {:.1}ms",
+            self.steps,
+            self.elapsed.as_secs_f64() * 1e3
+        )?;
+        if self.peak_memory > 0 {
+            write!(f, ", {} mem units", self.peak_memory)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Meter
+// ---------------------------------------------------------------------
+
+/// The mutable spend tracker an engine threads through its inner loop.
+///
+/// `charge(n)` is the one call sites make; it is O(1) and only touches
+/// the clock / cancel flag every [`CHECK_INTERVAL`] steps. Once a
+/// meter has interrupted it stays interrupted: subsequent charges
+/// return the same [`Interrupt`], so engines can unwind lazily.
+#[derive(Debug, Clone)]
+pub struct Meter {
+    max_steps: Option<u64>,
+    deadline: Option<Instant>,
+    max_memory: Option<u64>,
+    cancel: Option<CancelToken>,
+    fault: Option<FaultPlan>,
+    fault_rng: u64,
+    started: Instant,
+    steps: u64,
+    memory: u64,
+    peak_memory: u64,
+    next_check: u64,
+    tripped: Option<Interrupt>,
+}
+
+impl Meter {
+    fn new(budget: &Budget) -> Self {
+        let started = Instant::now();
+        Meter {
+            max_steps: budget.max_steps,
+            deadline: budget.max_duration.map(|d| started + d),
+            max_memory: budget.max_memory,
+            cancel: budget.cancel.clone(),
+            fault: budget.fault.clone(),
+            fault_rng: budget.fault.as_ref().map(|f| f.seed).unwrap_or(0),
+            started,
+            steps: 0,
+            memory: 0,
+            peak_memory: 0,
+            next_check: 0,
+            tripped: None,
+        }
+    }
+
+    /// A meter with no limits — for legacy call paths that predate
+    /// governance.
+    pub fn unlimited() -> Self {
+        Meter::new(&Budget::unlimited())
+    }
+
+    /// Charge `n` abstract steps. Returns the interrupt once any
+    /// envelope wall is hit; the same interrupt is returned for every
+    /// later charge.
+    #[inline]
+    pub fn charge(&mut self, n: u64) -> Result<(), Interrupt> {
+        if let Some(i) = self.tripped {
+            return Err(i);
+        }
+        self.steps = self.steps.saturating_add(n);
+        if let Some(max) = self.max_steps {
+            if self.steps > max {
+                return self.trip(Interrupt::Exhausted(ExhaustionReason::Steps));
+            }
+        }
+        if let Some(plan) = self.fault.clone() {
+            if plan.should_fail(self.steps, &mut self.fault_rng) {
+                return self.trip(Interrupt::Exhausted(ExhaustionReason::FaultInjected));
+            }
+        }
+        if self.steps >= self.next_check {
+            self.next_check = self.steps + CHECK_INTERVAL;
+            if let Some(tok) = &self.cancel {
+                if tok.is_cancelled() {
+                    return self.trip(Interrupt::Cancelled);
+                }
+            }
+            if let Some(deadline) = self.deadline {
+                if Instant::now() > deadline {
+                    return self.trip(Interrupt::Exhausted(ExhaustionReason::Deadline));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge `n` memory-proxy units (engine-defined allocation unit).
+    #[inline]
+    pub fn charge_memory(&mut self, n: u64) -> Result<(), Interrupt> {
+        if let Some(i) = self.tripped {
+            return Err(i);
+        }
+        self.memory = self.memory.saturating_add(n);
+        self.peak_memory = self.peak_memory.max(self.memory);
+        if let Some(max) = self.max_memory {
+            if self.memory > max {
+                return self.trip(Interrupt::Exhausted(ExhaustionReason::Memory));
+            }
+        }
+        Ok(())
+    }
+
+    /// Release `n` memory-proxy units (peak is retained in [`Spend`]).
+    #[inline]
+    pub fn release_memory(&mut self, n: u64) {
+        self.memory = self.memory.saturating_sub(n);
+    }
+
+    /// Force an immediate deadline/cancellation check regardless of
+    /// the check interval — for coarse loops that charge rarely.
+    pub fn checkpoint(&mut self) -> Result<(), Interrupt> {
+        self.next_check = 0;
+        self.charge(0)
+    }
+
+    fn trip(&mut self, i: Interrupt) -> Result<(), Interrupt> {
+        self.tripped = Some(i);
+        Err(i)
+    }
+
+    /// Steps charged so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Has this meter already interrupted?
+    pub fn interrupted(&self) -> Option<Interrupt> {
+        self.tripped
+    }
+
+    /// Snapshot the spend so far.
+    pub fn spend(&self) -> Spend {
+        Spend {
+            steps: self.steps,
+            elapsed: self.started.elapsed(),
+            peak_memory: self.peak_memory,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Governed
+// ---------------------------------------------------------------------
+
+/// The outcome of a budgeted computation.
+///
+/// `Exhausted` and `Cancelled` carry whatever partial result the
+/// engine could truthfully report (e.g. the subsumptions proved so
+/// far, the term as far as it was normalized); `None` means no
+/// meaningful partial state existed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Governed<T> {
+    /// The computation ran to completion.
+    Completed(T),
+    /// A resource limit was hit; `partial` is a truthful prefix of
+    /// the answer where the engine has one.
+    Exhausted {
+        /// Which wall was hit.
+        reason: ExhaustionReason,
+        /// Partial result, if the engine could salvage one.
+        partial: Option<T>,
+    },
+    /// The [`CancelToken`] fired.
+    Cancelled {
+        /// Partial result, if the engine could salvage one.
+        partial: Option<T>,
+    },
+}
+
+impl<T> Governed<T> {
+    /// Build the non-completed outcome matching `interrupt`.
+    pub fn from_interrupt(interrupt: Interrupt, partial: Option<T>) -> Self {
+        match interrupt {
+            Interrupt::Exhausted(reason) => Governed::Exhausted { reason, partial },
+            Interrupt::Cancelled => Governed::Cancelled { partial },
+        }
+    }
+
+    /// Did the computation complete?
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Governed::Completed(_))
+    }
+
+    /// The complete result, if there is one.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            Governed::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The best available result: complete or partial.
+    pub fn into_partial(self) -> Option<T> {
+        match self {
+            Governed::Completed(v) => Some(v),
+            Governed::Exhausted { partial, .. } | Governed::Cancelled { partial } => partial,
+        }
+    }
+
+    /// Borrow the best available result: complete or partial.
+    pub fn as_partial(&self) -> Option<&T> {
+        match self {
+            Governed::Completed(v) => Some(v),
+            Governed::Exhausted { partial, .. } | Governed::Cancelled { partial } => {
+                partial.as_ref()
+            }
+        }
+    }
+
+    /// Map the carried value (complete and partial alike).
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Governed<U> {
+        match self {
+            Governed::Completed(v) => Governed::Completed(f(v)),
+            Governed::Exhausted { reason, partial } => Governed::Exhausted {
+                reason,
+                partial: partial.map(f),
+            },
+            Governed::Cancelled { partial } => Governed::Cancelled {
+                partial: partial.map(f),
+            },
+        }
+    }
+
+    /// The complete result, panicking otherwise — for tests and for
+    /// call sites that passed an unlimited budget.
+    #[track_caller]
+    pub fn expect_completed(self, msg: &str) -> T {
+        match self {
+            Governed::Completed(v) => v,
+            Governed::Exhausted { reason, .. } => {
+                panic!("{msg}: exhausted ({reason})")
+            }
+            Governed::Cancelled { .. } => panic!("{msg}: cancelled"),
+        }
+    }
+
+    /// A one-word label for reports: `completed`, `exhausted`, or
+    /// `cancelled`.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Governed::Completed(_) => "completed",
+            Governed::Exhausted { .. } => "exhausted",
+            Governed::Cancelled { .. } => "cancelled",
+        }
+    }
+}
+
+/// Convenience prelude: `use summa_guard::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        Budget, CancelToken, ExhaustionReason, FaultPlan, Governed, Interrupt, Meter, Spend,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let budget = Budget::unlimited();
+        let mut meter = budget.meter();
+        for _ in 0..100_000 {
+            meter.charge(1).expect("unlimited");
+        }
+        assert_eq!(meter.steps(), 100_000);
+    }
+
+    #[test]
+    fn step_budget_trips_at_limit() {
+        let budget = Budget::new().with_steps(10);
+        let mut meter = budget.meter();
+        for _ in 0..10 {
+            meter.charge(1).expect("within budget");
+        }
+        assert_eq!(
+            meter.charge(1),
+            Err(Interrupt::Exhausted(ExhaustionReason::Steps))
+        );
+        // Sticky: later charges keep failing the same way.
+        assert_eq!(
+            meter.charge(1),
+            Err(Interrupt::Exhausted(ExhaustionReason::Steps))
+        );
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let budget = Budget::new().with_deadline(Duration::from_millis(1));
+        let mut meter = budget.meter();
+        std::thread::sleep(Duration::from_millis(5));
+        let mut outcome = Ok(());
+        for _ in 0..(CHECK_INTERVAL + 1) {
+            outcome = meter.charge(1);
+            if outcome.is_err() {
+                break;
+            }
+        }
+        assert_eq!(
+            outcome,
+            Err(Interrupt::Exhausted(ExhaustionReason::Deadline))
+        );
+    }
+
+    #[test]
+    fn memory_budget_trips_and_peak_is_tracked() {
+        let budget = Budget::new().with_memory(100);
+        let mut meter = budget.meter();
+        meter.charge_memory(80).expect("fits");
+        meter.release_memory(50);
+        meter.charge_memory(60).expect("fits after release");
+        assert_eq!(
+            meter.charge_memory(50),
+            Err(Interrupt::Exhausted(ExhaustionReason::Memory))
+        );
+        assert!(meter.spend().peak_memory >= 90);
+    }
+
+    #[test]
+    fn cancel_token_trips() {
+        let token = CancelToken::new();
+        let budget = Budget::new().with_cancel(token.clone());
+        let mut meter = budget.meter();
+        meter.charge(1).expect("not yet cancelled");
+        token.cancel();
+        let mut outcome = Ok(());
+        for _ in 0..(CHECK_INTERVAL + 1) {
+            outcome = meter.charge(1);
+            if outcome.is_err() {
+                break;
+            }
+        }
+        assert_eq!(outcome, Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn fault_at_step_is_exact() {
+        let budget = Budget::new().with_fault(FaultPlan::fail_at_step(5));
+        let mut meter = budget.meter();
+        for _ in 0..4 {
+            meter.charge(1).expect("before fault point");
+        }
+        assert_eq!(
+            meter.charge(1),
+            Err(Interrupt::Exhausted(ExhaustionReason::FaultInjected))
+        );
+    }
+
+    #[test]
+    fn probabilistic_fault_is_deterministic() {
+        let run = |seed| {
+            let budget = Budget::new().with_fault(FaultPlan::probabilistic(0.05, seed));
+            let mut meter = budget.meter();
+            let mut at = None;
+            for i in 0..10_000u64 {
+                if meter.charge(1).is_err() {
+                    at = Some(i);
+                    break;
+                }
+            }
+            at
+        };
+        assert_eq!(run(7), run(7));
+        assert!(run(7).is_some(), "p=0.05 over 10k steps fires w.h.p.");
+    }
+
+    #[test]
+    fn governed_helpers() {
+        let g: Governed<u32> = Governed::Completed(3);
+        assert!(g.is_completed());
+        assert_eq!(g.clone().completed(), Some(3));
+        assert_eq!(g.map(|x| x + 1), Governed::Completed(4));
+
+        let e = Governed::from_interrupt(
+            Interrupt::Exhausted(ExhaustionReason::Steps),
+            Some(vec![1, 2]),
+        );
+        assert_eq!(e.status(), "exhausted");
+        assert_eq!(e.into_partial(), Some(vec![1, 2]));
+
+        let c: Governed<u32> = Governed::from_interrupt(Interrupt::Cancelled, None);
+        assert_eq!(c.status(), "cancelled");
+        assert_eq!(c.as_partial(), None);
+    }
+}

@@ -23,6 +23,7 @@
 //!   the intensional relations' definitional role.
 
 use std::collections::BTreeMap;
+use summa_guard::{Budget, Governed, Interrupt, Meter};
 
 /// A formal notion in the dependency analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -126,6 +127,27 @@ impl DependencyGraph {
     /// Detect a cycle (DFS three-colouring); produce a topological
     /// order when acyclic.
     pub fn analyze(&self) -> CircularityReport {
+        self.analyze_metered(&mut Meter::unlimited())
+            .expect("unlimited meter never interrupts")
+    }
+
+    /// Budget-governed cycle detection. An interrupted analysis
+    /// carries no partial report: a half-explored graph supports
+    /// neither a cycle claim nor a topological order.
+    pub fn analyze_governed(&self, budget: &Budget) -> Governed<CircularityReport> {
+        let mut meter = budget.meter();
+        match self.analyze_metered(&mut meter) {
+            Ok(r) => Governed::Completed(r),
+            Err(i) => Governed::from_interrupt(i, None),
+        }
+    }
+
+    /// The metered DFS, charging one step per edge traversal and per
+    /// node retirement.
+    pub fn analyze_metered(
+        &self,
+        meter: &mut Meter,
+    ) -> Result<CircularityReport, Interrupt> {
         let mut nodes: Vec<Notion> = vec![];
         for &(a, b, _) in &self.edges {
             if !nodes.contains(&a) {
@@ -161,6 +183,7 @@ impl DependencyGraph {
             while let Some(&mut (n, ref mut cursor)) = stack.last_mut() {
                 let children = adj.get(&n).map(Vec::as_slice).unwrap_or(&[]);
                 if *cursor < children.len() {
+                    meter.charge(1)?;
                     let child = children[*cursor];
                     *cursor += 1;
                     match color[&child] {
@@ -176,14 +199,15 @@ impl DependencyGraph {
                                 .skip_while(|&x| x != child)
                                 .collect();
                             cyc.push(child);
-                            return CircularityReport {
+                            return Ok(CircularityReport {
                                 cycle: Some(cyc),
                                 topological_order: None,
-                            };
+                            });
                         }
                         Color::Black => {}
                     }
                 } else {
+                    meter.charge(1)?;
                     color.insert(n, Color::Black);
                     order.push(n);
                     stack.pop();
@@ -191,10 +215,10 @@ impl DependencyGraph {
             }
         }
         order.reverse();
-        CircularityReport {
+        Ok(CircularityReport {
             cycle: None,
             topological_order: Some(order),
-        }
+        })
     }
 
     /// Render the edges as "X ← Y (why)" lines.
@@ -255,6 +279,21 @@ mod tests {
             r.cycle,
             Some(vec![Notion::WorldStructure, Notion::WorldStructure])
         );
+    }
+
+    #[test]
+    fn governed_analysis_completes_and_exhausts() {
+        let g = DependencyGraph::guarino();
+        let done = g.analyze_governed(&Budget::unlimited());
+        assert!(done.is_completed());
+        assert_eq!(done.completed(), Some(g.analyze()));
+        // The cycle needs three edge traversals; one step cannot reach
+        // a verdict.
+        let starved = g.analyze_governed(&Budget::new().with_steps(1));
+        assert!(matches!(
+            starved,
+            Governed::Exhausted { partial: None, .. }
+        ));
     }
 
     #[test]

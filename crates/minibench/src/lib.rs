@@ -1,0 +1,171 @@
+//! A minimal, dependency-free benchmark harness exposing the subset of
+//! the `criterion` API this workspace's benches use.
+//!
+//! The build must work with the network disabled, so the real
+//! `criterion` crate cannot be fetched; the workspace aliases this
+//! crate as `criterion` in `[dev-dependencies]`
+//! (`criterion = { package = "summa-minibench", path = … }`) and the
+//! bench files compile unchanged.
+//!
+//! Timing model: each benchmark is warmed up briefly, then timed over
+//! enough iterations to cover a small measurement window, and the
+//! mean per-iteration time is printed. No statistics, plots, or
+//! baselines — this is a smoke-and-ballpark harness, not a substitute
+//! for criterion's analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, constructed by [`criterion_main!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named parameterized benchmark id, printed as `name/param`.
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            rendered: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            rendered: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples (kept for API compatibility;
+    /// also scales the measurement window down for slow benches).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Run a benchmark against one input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group. No-op; exists for criterion compatibility.
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            budget: Duration::from_millis((10 * self.sample_size as u64).min(500)),
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("  {label:<48} (no iterations)");
+        } else {
+            let per = b.total.as_nanos() / b.iters as u128;
+            println!("  {label:<48} {:>12} ns/iter ({} iters)", per, b.iters);
+        }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement window closes.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + calibration pass.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let first = start.elapsed();
+
+        let window = self.budget;
+        let start = Instant::now();
+        let mut iters = 1u64;
+        let mut elapsed = first;
+        while elapsed < window && iters < 1_000_000 {
+            std::hint::black_box(routine());
+            iters += 1;
+            elapsed = start.elapsed() + first;
+        }
+        self.total += elapsed;
+        self.iters += iters;
+    }
+}
+
+/// Declare a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

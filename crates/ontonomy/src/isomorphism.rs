@@ -11,6 +11,7 @@
 
 use crate::signature::{AttrTarget, ClassId, OntologySignature};
 use std::collections::BTreeMap;
+use summa_guard::{Budget, Governed, Interrupt, Meter};
 
 /// A witnessing mapping: class bijection plus attribute renaming.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,22 +32,47 @@ pub fn signatures_isomorphic(
     left: &OntologySignature,
     right: &OntologySignature,
 ) -> Option<SignatureMapping> {
+    signatures_isomorphic_metered(left, right, &mut Meter::unlimited())
+        .expect("unlimited meter never interrupts")
+}
+
+/// Budget-governed signature-isomorphism search. Each candidate class
+/// pairing tried charges one step; an interrupted search carries no
+/// partial witness (`None` = *undecided*).
+pub fn signatures_isomorphic_governed(
+    left: &OntologySignature,
+    right: &OntologySignature,
+    budget: &Budget,
+) -> Governed<Option<SignatureMapping>> {
+    let mut meter = budget.meter();
+    match signatures_isomorphic_metered(left, right, &mut meter) {
+        Ok(m) => Governed::Completed(m),
+        Err(i) => Governed::from_interrupt(i, None),
+    }
+}
+
+/// Metered search over a caller-supplied meter.
+pub fn signatures_isomorphic_metered(
+    left: &OntologySignature,
+    right: &OntologySignature,
+    meter: &mut Meter,
+) -> Result<Option<SignatureMapping>, Interrupt> {
     let lcs: Vec<ClassId> = left.class_ids().collect();
     let rcs: Vec<ClassId> = right.class_ids().collect();
     if lcs.len() != rcs.len() {
-        return None;
+        return Ok(None);
     }
     let lposet = left.data_domain().theory().signature().poset();
     let rposet = right.data_domain().theory().signature().poset();
     if lposet.len() != rposet.len() {
-        return None;
+        return Ok(None);
     }
     // Backtracking over class bijections with order- and
     // attribute-count pruning.
     let mut assignment: Vec<Option<usize>> = vec![None; lcs.len()];
     let mut used = vec![false; rcs.len()];
-    if !assign(left, right, &lcs, &rcs, &mut assignment, &mut used, 0) {
-        return None;
+    if !assign(left, right, &lcs, &rcs, &mut assignment, &mut used, 0, meter)? {
+        return Ok(None);
     }
     let classes: BTreeMap<ClassId, ClassId> = assignment
         .iter()
@@ -61,14 +87,20 @@ pub fn signatures_isomorphic(
             let rt = map_target(lt, &classes);
             let rattrs: Vec<String> = right.attrs(rc, rt).into_iter().collect();
             let lattrs: Vec<String> = left.attrs(lc, lt).into_iter().collect();
-            let pos = lattrs.iter().position(|a| *a == lname)?;
-            attributes.insert(lname, rattrs.get(pos)?.clone());
+            let pos = match lattrs.iter().position(|a| *a == lname) {
+                Some(p) => p,
+                None => return Ok(None),
+            };
+            match rattrs.get(pos) {
+                Some(r) => attributes.insert(lname, r.clone()),
+                None => return Ok(None),
+            };
         }
     }
-    Some(SignatureMapping {
+    Ok(Some(SignatureMapping {
         classes,
         attributes,
-    })
+    }))
 }
 
 fn map_target(t: AttrTarget, classes: &BTreeMap<ClassId, ClassId>) -> AttrTarget {
@@ -78,6 +110,7 @@ fn map_target(t: AttrTarget, classes: &BTreeMap<ClassId, ClassId>) -> AttrTarget
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn assign(
     left: &OntologySignature,
     right: &OntologySignature,
@@ -86,14 +119,16 @@ fn assign(
     assignment: &mut Vec<Option<usize>>,
     used: &mut Vec<bool>,
     next: usize,
-) -> bool {
+    meter: &mut Meter,
+) -> Result<bool, Interrupt> {
     if next == lcs.len() {
-        return true;
+        return Ok(true);
     }
     'candidates: for cand in 0..rcs.len() {
         if used[cand] {
             continue;
         }
+        meter.charge(1)?;
         // Attribute-count signature must match per target kind.
         let lattrs = left.attrs_of_class(lcs[next]);
         let rattrs = right.attrs_of_class(rcs[cand]);
@@ -115,13 +150,13 @@ fn assign(
                 continue 'candidates;
             }
         }
-        if assign(left, right, lcs, rcs, assignment, used, next + 1) {
-            return true;
+        if assign(left, right, lcs, rcs, assignment, used, next + 1, meter)? {
+            return Ok(true);
         }
         assignment[next] = None;
         used[cand] = false;
     }
-    false
+    Ok(false)
 }
 
 #[cfg(test)]
@@ -158,6 +193,26 @@ mod tests {
             signatures_isomorphic(&v.ontonomy.signature, &a).is_none(),
             "the repaired hierarchy (quadruped ≤ animal) must not match"
         );
+    }
+
+    #[test]
+    fn governed_search_completes_and_exhausts() {
+        let v = vehicles_signature().expect("well-formed");
+        let a = animals_signature().expect("well-formed");
+        let done = signatures_isomorphic_governed(
+            &v.ontonomy.signature,
+            &a.ontonomy.signature,
+            &Budget::unlimited(),
+        );
+        assert!(matches!(done, Governed::Completed(Some(_))));
+        // A full bijection over 4 classes needs at least 4 candidate
+        // trials; a 1-step budget must exhaust.
+        let starved = signatures_isomorphic_governed(
+            &v.ontonomy.signature,
+            &a.ontonomy.signature,
+            &Budget::new().with_steps(1),
+        );
+        assert!(matches!(starved, Governed::Exhausted { partial: None, .. }));
     }
 
     /// The repaired animal signature: quadruped ≤ animal added.

@@ -14,6 +14,7 @@
 
 use crate::signature::Signature;
 use crate::term::Term;
+use summa_guard::{Budget, Governed, Interrupt, Meter};
 
 /// An incremental ground congruence closure.
 #[derive(Debug, Clone)]
@@ -92,14 +93,46 @@ impl CongruenceClosure {
         self.propagate();
     }
 
+    /// Metered variant of [`CongruenceClosure::assert_equal`]. On
+    /// interrupt the asserted equation is recorded but congruence
+    /// propagation may be incomplete: every merge performed is a valid
+    /// consequence (the closure stays sound), some consequences may be
+    /// missing.
+    pub fn assert_equal_metered(
+        &mut self,
+        a: &Term,
+        b: &Term,
+        meter: &mut Meter,
+    ) -> std::result::Result<(), Interrupt> {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        self.union(ia, ib);
+        self.propagate_metered(meter)
+    }
+
     /// Congruence propagation to fixpoint: two applications of the
     /// same operator name with pairwise-equal children are merged.
     fn propagate(&mut self) {
+        self.propagate_metered(&mut Meter::unlimited())
+            .expect("unlimited meter never interrupts");
+    }
+
+    /// The O(n²)-per-round propagation fixpoint, charging the meter one
+    /// step per candidate pair examined. Interrupting mid-round leaves
+    /// a sound under-approximation of the closure (`dirty` stays set,
+    /// so a later call resumes the fixpoint).
+    fn propagate_metered(
+        &mut self,
+        meter: &mut Meter,
+    ) -> std::result::Result<(), Interrupt> {
         while self.dirty {
             self.dirty = false;
             let n = self.terms.len();
             for i in 0..n {
                 for j in (i + 1)..n {
+                    if let Err(interrupt) = meter.charge(1) {
+                        self.dirty = true;
+                        return Err(interrupt);
+                    }
                     if self.find(i) == self.find(j) {
                         continue;
                     }
@@ -128,6 +161,7 @@ impl CongruenceClosure {
                 }
             }
         }
+        Ok(())
     }
 
     /// Are two ground terms provably equal under the asserted
@@ -138,6 +172,58 @@ impl CongruenceClosure {
         self.dirty = true;
         self.propagate();
         self.find(ia) == self.find(ib)
+    }
+
+    /// Metered equality query. A `true` under partial propagation is
+    /// already definitive (the closure only ever merges), so the only
+    /// interrupt-sensitive answer is `false`.
+    pub fn are_equal_metered(
+        &mut self,
+        a: &Term,
+        b: &Term,
+        meter: &mut Meter,
+    ) -> std::result::Result<bool, Interrupt> {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        self.dirty = true;
+        let outcome = self.propagate_metered(meter);
+        if self.find(ia) == self.find(ib) {
+            // Merges are monotone: once equal, always equal, even if
+            // propagation was cut short.
+            return Ok(true);
+        }
+        outcome.map(|()| false)
+    }
+
+    /// Budget-governed equality query. On exhaustion or cancellation
+    /// the partial verdict is `false` meaning *not yet proved equal* —
+    /// full propagation could still merge the two classes.
+    pub fn are_equal_governed(
+        &mut self,
+        a: &Term,
+        b: &Term,
+        budget: &Budget,
+    ) -> Governed<bool> {
+        let mut meter = budget.meter();
+        match self.are_equal_metered(a, b, &mut meter) {
+            Ok(eq) => Governed::Completed(eq),
+            Err(i) => Governed::from_interrupt(i, Some(false)),
+        }
+    }
+
+    /// Budget-governed assertion. The partial `()` signals the
+    /// equation was recorded but its congruence consequences are only
+    /// partially propagated (sound, incomplete).
+    pub fn assert_equal_governed(
+        &mut self,
+        a: &Term,
+        b: &Term,
+        budget: &Budget,
+    ) -> Governed<()> {
+        let mut meter = budget.meter();
+        match self.assert_equal_metered(a, b, &mut meter) {
+            Ok(()) => Governed::Completed(()),
+            Err(i) => Governed::from_interrupt(i, Some(())),
+        }
     }
 
     /// The number of equivalence classes among interned terms.
@@ -180,6 +266,25 @@ pub fn from_identities(
         cc.assert_equal(a, b);
     }
     cc
+}
+
+/// Budget-governed closure construction: one envelope bounds all
+/// propagation. The partial closure on interrupt holds every identity
+/// asserted so far with possibly incomplete propagation — sound for
+/// `true` answers, incomplete for `false`.
+pub fn from_identities_governed(
+    signature: Signature,
+    identities: &[(Term, Term)],
+    budget: &Budget,
+) -> Governed<CongruenceClosure> {
+    let mut cc = CongruenceClosure::new(signature);
+    let mut meter = budget.meter();
+    for (a, b) in identities {
+        if let Err(i) = cc.assert_equal_metered(a, b, &mut meter) {
+            return Governed::from_interrupt(i, Some(cc));
+        }
+    }
+    Governed::Completed(cc)
 }
 
 #[cfg(test)]
@@ -286,6 +391,70 @@ mod tests {
         assert_eq!(cc.canon(&fa), a);
         let ffa = Term::app(f, vec![fa]);
         assert_eq!(cc.canon(&ffa), a);
+    }
+
+    #[test]
+    fn governed_queries_complete_under_generous_budget() {
+        let (sig, a, b, _c, f) = setup();
+        let mut cc = CongruenceClosure::new(sig);
+        let g = cc.assert_equal_governed(&a, &b, &summa_guard::Budget::unlimited());
+        assert!(g.is_completed());
+        let fa = Term::app(f, vec![a.clone()]);
+        let fb = Term::app(f, vec![b.clone()]);
+        let g = cc.are_equal_governed(&fa, &fb, &summa_guard::Budget::unlimited());
+        assert_eq!(g.completed(), Some(true));
+    }
+
+    #[test]
+    fn governed_propagation_degrades_but_stays_sound() {
+        // A deep tower f^8(a) = a forces repeated propagation rounds;
+        // a one-step budget must interrupt, never panic, and the
+        // partial verdict is `false` (= not yet proved).
+        let (sig, a, _b, _c, f) = setup();
+        let mut cc = CongruenceClosure::new(sig);
+        let mut tower = a.clone();
+        for _ in 0..8 {
+            tower = Term::app(f, vec![tower]);
+        }
+        cc.assert_equal(&Term::app(f, vec![a.clone()]), &a);
+        let g = cc.are_equal_governed(
+            &tower,
+            &a,
+            &summa_guard::Budget::new().with_steps(1),
+        );
+        match g {
+            summa_guard::Governed::Completed(true) => {} // already merged
+            summa_guard::Governed::Exhausted { partial, .. } => {
+                assert_eq!(partial, Some(false));
+            }
+            other => panic!("unexpected outcome: {}", other.status()),
+        }
+        // An unbudgeted retry finishes the fixpoint and proves equality.
+        assert!(cc.are_equal(&tower, &a));
+    }
+
+    #[test]
+    fn governed_construction_interrupts_mid_identity_list() {
+        let (sig, a, b, c, f) = setup();
+        let fa = Term::app(f, vec![a.clone()]);
+        let identities = vec![(fa.clone(), a.clone()), (b.clone(), c.clone())];
+        let g = from_identities_governed(
+            sig.clone(),
+            &identities,
+            &summa_guard::Budget::new().with_steps(1),
+        );
+        match g {
+            summa_guard::Governed::Exhausted { partial, .. } => {
+                assert!(partial.is_some());
+            }
+            summa_guard::Governed::Completed(mut cc) => {
+                // Tiny theory might finish in one charge interval; the
+                // closure must then be fully correct.
+                assert!(cc.are_equal(&fa, &a));
+                assert!(cc.are_equal(&b, &c));
+            }
+            other => panic!("unexpected outcome: {}", other.status()),
+        }
     }
 
     #[test]

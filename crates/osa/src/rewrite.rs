@@ -12,6 +12,7 @@ use crate::error::{OsaError, Result};
 use crate::signature::Signature;
 use crate::term::{match_term, unify, Term};
 use crate::theory::Theory;
+use summa_guard::{Budget, Governed, Interrupt, Meter};
 
 /// A compiled order-sorted rewrite system.
 #[derive(Debug, Clone)]
@@ -108,10 +109,75 @@ impl RewriteSystem {
         }
     }
 
+    /// Metered normalization: every rewrite step charges the shared
+    /// meter. On interrupt the error carries the partially rewritten
+    /// term (every step taken so far was a valid `=_E` step, so the
+    /// partial is equal to the input modulo the theory). Mirrors the
+    /// legacy [`RewriteSystem::normal_form`] quirk: a term that happens
+    /// to already be in normal form when the meter trips still counts
+    /// as completed.
+    pub fn normal_form_metered(
+        &self,
+        t: &Term,
+        meter: &mut Meter,
+    ) -> std::result::Result<Term, (Term, Interrupt)> {
+        let mut cur = t.clone();
+        loop {
+            if let Err(i) = meter.charge(1) {
+                if self.step(&cur).is_none() {
+                    return Ok(cur);
+                }
+                return Err((cur, i));
+            }
+            match self.step(&cur) {
+                Some(next) => cur = next,
+                None => return Ok(cur),
+            }
+        }
+    }
+
+    /// Budget-governed normalization. `Exhausted`/`Cancelled` carry the
+    /// partially rewritten term — a theory-equal reduct of the input,
+    /// not necessarily a normal form.
+    pub fn normal_form_governed(&self, t: &Term, budget: &Budget) -> Governed<Term> {
+        let mut meter = budget.meter();
+        match self.normal_form_metered(t, &mut meter) {
+            Ok(nf) => Governed::Completed(nf),
+            Err((partial, i)) => Governed::from_interrupt(i, Some(partial)),
+        }
+    }
+
     /// Joinability: do `a` and `b` reach the same normal form within
     /// `budget` steps each?
     pub fn joinable(&self, a: &Term, b: &Term, budget: usize) -> Result<bool> {
         Ok(self.normal_form(a, budget)? == self.normal_form(b, budget)?)
+    }
+
+    /// Metered joinability over one shared meter.
+    pub fn joinable_metered(
+        &self,
+        a: &Term,
+        b: &Term,
+        meter: &mut Meter,
+    ) -> std::result::Result<bool, Interrupt> {
+        let na = self.normal_form_metered(a, meter).map_err(|(_, i)| i)?;
+        let nb = self.normal_form_metered(b, meter).map_err(|(_, i)| i)?;
+        Ok(na == nb)
+    }
+
+    /// Budget-governed ground equality. No meaningful partial verdict
+    /// exists when normalization is cut short, so the partial is `None`.
+    pub fn ground_equal_governed(
+        &self,
+        a: &Term,
+        b: &Term,
+        budget: &Budget,
+    ) -> Governed<bool> {
+        let mut meter = budget.meter();
+        match self.joinable_metered(a, b, &mut meter) {
+            Ok(eq) => Governed::Completed(eq),
+            Err(i) => Governed::from_interrupt(i, None),
+        }
     }
 
     /// Decide ground equality `a =_E b` for a confluent terminating
@@ -180,6 +246,25 @@ impl RewriteSystem {
     /// [`RewriteSystem::local_confluence_counterexample`].
     pub fn is_locally_confluent(&self, budget: usize) -> Result<bool> {
         Ok(self.local_confluence_counterexample(budget)?.is_none())
+    }
+
+    /// Budget-governed local-confluence check: all critical-pair
+    /// joinability tests share one meter. The partial on interrupt is
+    /// the verdict over the pairs examined so far (`None` = no
+    /// counterexample *yet*), which is only a lower bound on the truth.
+    pub fn local_confluence_counterexample_governed(
+        &self,
+        budget: &Budget,
+    ) -> Governed<Option<CriticalPair>> {
+        let mut meter = budget.meter();
+        for cp in self.critical_pairs() {
+            match self.joinable_metered(&cp.left, &cp.right, &mut meter) {
+                Ok(true) => {}
+                Ok(false) => return Governed::Completed(Some(cp)),
+                Err(i) => return Governed::from_interrupt(i, Some(None)),
+            }
+        }
+        Governed::Completed(None)
     }
 
     /// Enumerate all ground normal forms of a sort reachable from the
@@ -428,6 +513,56 @@ mod tests {
             rs.normal_form(&t, 50),
             Err(OsaError::StepBudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn governed_normal_form_completes_like_legacy() {
+        let (th, _nat, zero, succ, plus) = peano();
+        let rs = RewriteSystem::from_theory(&th).unwrap();
+        let t = Term::app(plus, vec![num(2, zero, succ), num(3, zero, succ)]);
+        let g = rs.normal_form_governed(&t, &Budget::unlimited());
+        assert_eq!(g.completed(), Some(num(5, zero, succ)));
+    }
+
+    #[test]
+    fn governed_normal_form_exhausts_with_partial_on_divergence() {
+        // f(x) = f(f(x)) diverges; a step budget must stop it with a
+        // partially rewritten (theory-equal) term, not hang.
+        let mut b = SignatureBuilder::new();
+        let s = b.sort("S");
+        let c = b.op("c", &[], s);
+        let f = b.op("f", &[s], s);
+        let sig = b.finish().unwrap();
+        let mut th = Theory::new(sig);
+        let x = Term::var("x", s);
+        th.add_equation(Equation::new(
+            Term::app(f, vec![x.clone()]),
+            Term::app(f, vec![Term::app(f, vec![x.clone()])]),
+        ))
+        .unwrap();
+        let rs = RewriteSystem::from_theory(&th).unwrap();
+        let t = Term::app(f, vec![Term::constant(c)]);
+        let g = rs.normal_form_governed(&t, &Budget::new().with_steps(50));
+        match g {
+            Governed::Exhausted { partial, .. } => {
+                let partial = partial.expect("partial reduct available");
+                // Every step grew the term by one `f`; the partial is a
+                // genuine reduct of the input.
+                assert!(partial.size() > t.size());
+            }
+            other => panic!("expected exhaustion, got {}", other.status()),
+        }
+        // Ground-equality under the same tiny budget also degrades.
+        let g2 = rs.ground_equal_governed(&t, &Term::constant(c), &Budget::new().with_steps(10));
+        assert!(!g2.is_completed());
+    }
+
+    #[test]
+    fn governed_confluence_check_respects_budget() {
+        let (th, ..) = peano();
+        let rs = RewriteSystem::from_theory(&th).unwrap();
+        let g = rs.local_confluence_counterexample_governed(&Budget::unlimited());
+        assert_eq!(g.completed(), Some(None));
     }
 
     #[test]

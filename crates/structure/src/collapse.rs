@@ -6,9 +6,10 @@
 //! finds such collapses across (or within) ontonomies.
 
 use crate::graph::{DefGraph, LabelMode};
-use crate::isomorphism::{find_isomorphism, Mapping};
+use crate::isomorphism::{find_isomorphism, find_isomorphism_metered, Mapping};
 use summa_dl::concept::{ConceptId, Vocabulary};
 use summa_dl::tbox::TBox;
+use summa_guard::{Budget, Governed, Interrupt, Meter};
 
 /// Default neighborhood depth used when comparing concepts: large
 /// enough to cover whole small ontonomies.
@@ -73,6 +74,55 @@ pub fn structurally_indistinguishable_at_depth(
     find_isomorphism(&n1p, &n2p)
 }
 
+/// Metered indistinguishability test: both isomorphism searches (the
+/// free one and the pinned retry) charge one shared meter.
+pub fn structurally_indistinguishable_metered(
+    t1: &TBox,
+    c1: ConceptId,
+    t2: &TBox,
+    c2: ConceptId,
+    voc: &Vocabulary,
+    depth: usize,
+    meter: &mut Meter,
+) -> Result<Option<Mapping>, Interrupt> {
+    let g1 = DefGraph::from_tbox(t1, voc, LabelMode::Anonymous);
+    let g2 = DefGraph::from_tbox(t2, voc, LabelMode::Anonymous);
+    let (n1, n2) = match (g1.node_of(c1), g2.node_of(c2)) {
+        (Some(i1), Some(i2)) => (g1.neighborhood(i1, depth), g2.neighborhood(i2, depth)),
+        _ => return Ok(None),
+    };
+    let (start1, start2) = match (n1.node_of(c1), n2.node_of(c2)) {
+        (Some(s1), Some(s2)) => (s1, s2),
+        _ => return Ok(None),
+    };
+    match find_isomorphism_metered(&n1, &n2, meter)? {
+        None => return Ok(None),
+        Some(m) if m.get(&start1) == Some(&start2) => return Ok(Some(m)),
+        Some(_) => {}
+    }
+    let n1p = pin(&n1, start1);
+    let n2p = pin(&n2, start2);
+    find_isomorphism_metered(&n1p, &n2p, meter)
+}
+
+/// Budget-governed indistinguishability test. On interrupt the partial
+/// is `None` — *undecided*, never a claimed non-collapse.
+pub fn structurally_indistinguishable_governed(
+    t1: &TBox,
+    c1: ConceptId,
+    t2: &TBox,
+    c2: ConceptId,
+    voc: &Vocabulary,
+    depth: usize,
+    budget: &Budget,
+) -> Governed<Option<Mapping>> {
+    let mut meter = budget.meter();
+    match structurally_indistinguishable_metered(t1, c1, t2, c2, voc, depth, &mut meter) {
+        Ok(m) => Governed::Completed(m),
+        Err(i) => Governed::from_interrupt(i, None),
+    }
+}
+
 /// Relabel one node with a distinguished marker so isomorphisms must
 /// map it to the correspondingly-pinned node.
 fn pin(g: &DefGraph, node: usize) -> DefGraph {
@@ -109,6 +159,53 @@ pub fn find_isomorphic_pairs(
         }
     }
     out
+}
+
+/// Budget-governed all-pairs collapse sweep: every pairwise search
+/// charges one shared meter. On interrupt the partial report lists the
+/// collapses confirmed before the cut — each entry is a genuine
+/// witness; unexamined pairs are simply absent.
+pub fn find_isomorphic_pairs_governed(
+    t1: &TBox,
+    t2: &TBox,
+    voc: &Vocabulary,
+    depth: usize,
+    budget: &Budget,
+) -> Governed<Vec<CollapseReport>> {
+    let mut meter = budget.meter();
+    let mut out = vec![];
+    match find_isomorphic_pairs_metered(t1, t2, voc, depth, &mut meter, &mut out) {
+        Ok(()) => Governed::Completed(out),
+        Err(i) => Governed::from_interrupt(i, Some(out)),
+    }
+}
+
+/// Metered all-pairs sweep over a caller-supplied meter, appending
+/// confirmed collapses to `out` as they are found.
+pub fn find_isomorphic_pairs_metered(
+    t1: &TBox,
+    t2: &TBox,
+    voc: &Vocabulary,
+    depth: usize,
+    meter: &mut Meter,
+    out: &mut Vec<CollapseReport>,
+) -> Result<(), Interrupt> {
+    for c1 in t1.atoms() {
+        for c2 in t2.atoms() {
+            if let Some(mapping) =
+                structurally_indistinguishable_metered(t1, c1, t2, c2, voc, depth, meter)?
+            {
+                out.push(CollapseReport {
+                    left: c1,
+                    right: c2,
+                    left_name: voc.concept_name(c1).to_string(),
+                    right_name: voc.concept_name(c2).to_string(),
+                    mapping,
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -189,6 +286,69 @@ mod tests {
         assert!(pairs
             .iter()
             .any(|r| r.left_name == "car" && r.right_name == "dog"));
+    }
+
+    #[test]
+    fn governed_sweep_degrades_to_confirmed_prefix() {
+        let p = PaperVocab::new();
+        let v = vehicles_tbox(&p);
+        let a = animals_tbox(&p);
+        let full = find_isomorphic_pairs(&v, &a, &p.voc, DEFAULT_DEPTH);
+        // Unlimited budget reproduces the legacy sweep exactly.
+        let g = find_isomorphic_pairs_governed(
+            &v,
+            &a,
+            &p.voc,
+            DEFAULT_DEPTH,
+            &summa_guard::Budget::unlimited(),
+        );
+        assert_eq!(g.completed().as_deref(), Some(full.as_slice()));
+        // A starved budget yields a (possibly empty) prefix whose
+        // every entry is also in the full result — no fabrications.
+        let g = find_isomorphic_pairs_governed(
+            &v,
+            &a,
+            &p.voc,
+            DEFAULT_DEPTH,
+            &summa_guard::Budget::new().with_steps(25),
+        );
+        match g {
+            summa_guard::Governed::Exhausted { partial, .. } => {
+                let partial = partial.expect("partial list available");
+                assert!(partial.len() < full.len());
+                for r in &partial {
+                    assert!(full.contains(r));
+                }
+            }
+            other => panic!("expected exhaustion, got {}", other.status()),
+        }
+    }
+
+    #[test]
+    fn governed_single_pair_respects_budget() {
+        let p = PaperVocab::new();
+        let v = vehicles_tbox(&p);
+        let a = animals_tbox(&p);
+        let g = structurally_indistinguishable_governed(
+            &v,
+            p.car,
+            &a,
+            p.dog,
+            &p.voc,
+            DEFAULT_DEPTH,
+            &summa_guard::Budget::unlimited(),
+        );
+        assert!(matches!(g, summa_guard::Governed::Completed(Some(_))));
+        let g = structurally_indistinguishable_governed(
+            &v,
+            p.car,
+            &a,
+            p.dog,
+            &p.voc,
+            DEFAULT_DEPTH,
+            &summa_guard::Budget::new().with_steps(2),
+        );
+        assert!(!g.is_completed());
     }
 
     #[test]

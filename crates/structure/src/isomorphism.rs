@@ -3,6 +3,7 @@
 
 use crate::graph::{DefGraph, EdgeKind};
 use std::collections::BTreeMap;
+use summa_guard::{Budget, Governed, Interrupt, Meter};
 
 /// A node bijection witnessing an isomorphism (g1 node → g2 node).
 pub type Mapping = BTreeMap<usize, usize>;
@@ -14,8 +15,35 @@ pub type Mapping = BTreeMap<usize, usize>;
 /// first (see [`crate::graph::LabelMode::Anonymous`]) to compare pure
 /// structure.
 pub fn find_isomorphism(g1: &DefGraph, g2: &DefGraph) -> Option<Mapping> {
+    find_isomorphism_metered(g1, g2, &mut Meter::unlimited())
+        .expect("unlimited meter never interrupts")
+}
+
+/// Budget-governed isomorphism search. Each candidate assignment tried
+/// by the backtracking search charges one step; an exhausted or
+/// cancelled search carries no partial witness (`None` = *undecided*,
+/// not *non-isomorphic*).
+pub fn find_isomorphism_governed(
+    g1: &DefGraph,
+    g2: &DefGraph,
+    budget: &Budget,
+) -> Governed<Option<Mapping>> {
+    let mut meter = budget.meter();
+    match find_isomorphism_metered(g1, g2, &mut meter) {
+        Ok(m) => Governed::Completed(m),
+        Err(i) => Governed::from_interrupt(i, None),
+    }
+}
+
+/// Metered isomorphism search over a caller-supplied meter, for
+/// composing several searches under one envelope.
+pub fn find_isomorphism_metered(
+    g1: &DefGraph,
+    g2: &DefGraph,
+    meter: &mut Meter,
+) -> Result<Option<Mapping>, Interrupt> {
     if g1.n_nodes() != g2.n_nodes() || g1.n_edges() != g2.n_edges() {
-        return None;
+        return Ok(None);
     }
     let n = g1.n_nodes();
     // Degree signatures for pruning: (label, out-degree, in-degree,
@@ -40,7 +68,7 @@ pub fn find_isomorphism(g1: &DefGraph, g2: &DefGraph) -> Option<Mapping> {
         a.sort();
         b.sort();
         if a != b {
-            return None;
+            return Ok(None);
         }
     }
 
@@ -78,6 +106,7 @@ pub fn find_isomorphism(g1: &DefGraph, g2: &DefGraph) -> Option<Mapping> {
         true
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn backtrack(
         g1: &DefGraph,
         g2: &DefGraph,
@@ -86,37 +115,41 @@ pub fn find_isomorphism(g1: &DefGraph, g2: &DefGraph) -> Option<Mapping> {
         mapping: &mut Vec<Option<usize>>,
         used: &mut Vec<bool>,
         next: usize,
-    ) -> bool {
+        meter: &mut Meter,
+    ) -> Result<bool, Interrupt> {
         if next == mapping.len() {
-            return true;
+            return Ok(true);
         }
         for cand in 0..mapping.len() {
             if used[cand] || sig1[next] != sig2[cand] {
                 continue;
             }
+            // One step per candidate assignment tried: the unit of
+            // work for the search tree.
+            meter.charge(1)?;
             mapping[next] = Some(cand);
             used[cand] = true;
             if consistent(g1, g2, mapping)
-                && backtrack(g1, g2, sig1, sig2, mapping, used, next + 1)
+                && backtrack(g1, g2, sig1, sig2, mapping, used, next + 1, meter)?
             {
-                return true;
+                return Ok(true);
             }
             mapping[next] = None;
             used[cand] = false;
         }
-        false
+        Ok(false)
     }
 
-    if backtrack(g1, g2, &sig1, &sig2, &mut mapping, &mut used, 0) {
-        Some(
+    if backtrack(g1, g2, &sig1, &sig2, &mut mapping, &mut used, 0, meter)? {
+        Ok(Some(
             mapping
                 .into_iter()
                 .enumerate()
                 .map(|(i, m)| (i, m.expect("complete mapping")))
                 .collect(),
-        )
+        ))
     } else {
-        None
+        Ok(None)
     }
 }
 
@@ -196,6 +229,26 @@ mod tests {
         assert!(find_isomorphism(&g1, &g2).is_none());
         let g3 = crate::graph::DefGraph::from_tbox(&t1, &voc1, LabelMode::Anonymous);
         assert!(find_isomorphism(&g1, &g3).is_some());
+    }
+
+    #[test]
+    fn governed_search_completes_and_exhausts() {
+        let (voc, t) = tiny_tbox(["a", "b", "c"], "r");
+        let g = crate::graph::DefGraph::from_tbox(&t, &voc, LabelMode::Full);
+        let done = find_isomorphism_governed(&g, &g, &summa_guard::Budget::unlimited());
+        assert!(matches!(done, summa_guard::Governed::Completed(Some(_))));
+        // Any complete mapping needs one charge per node, so a budget
+        // below the node count must exhaust instead of answering.
+        assert!(g.n_nodes() > 1);
+        let starved = find_isomorphism_governed(
+            &g,
+            &g,
+            &summa_guard::Budget::new().with_steps(1),
+        );
+        assert!(matches!(
+            starved,
+            summa_guard::Governed::Exhausted { partial: None, .. }
+        ));
     }
 
     #[test]

@@ -65,11 +65,16 @@ pub mod isomorphism;
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
     pub use crate::collapse::{
-        find_isomorphic_pairs, structurally_indistinguishable, CollapseReport,
+        find_isomorphic_pairs, find_isomorphic_pairs_governed,
+        find_isomorphic_pairs_metered, structurally_indistinguishable,
+        structurally_indistinguishable_governed, structurally_indistinguishable_metered,
+        CollapseReport,
     };
     pub use crate::differentiation::{
         differentiate_greedily, differentiation_radius, DifferentiationOutcome,
     };
     pub use crate::graph::{DefGraph, EdgeKind, LabelMode};
-    pub use crate::isomorphism::{find_isomorphism, Mapping};
+    pub use crate::isomorphism::{
+        find_isomorphism, find_isomorphism_governed, find_isomorphism_metered, Mapping,
+    };
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: what CI runs, runnable offline (no network, no registry —
+# the workspace has path dependencies only).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint"
+fi
+
+echo "tier-1: OK"
