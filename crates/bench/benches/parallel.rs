@@ -1,0 +1,183 @@
+//! Sequential vs multi-threaded reasoning throughput.
+//!
+//! Unlike the other benches this one is also a report generator:
+//! besides printing ns/iter it writes `BENCH_parallel.json` at the
+//! workspace root, comparing sequential and `SUMMA_BENCH_THREADS`-way
+//! parallel classification wall time per workload, together with the
+//! shared subsumption cache's hit/miss counts from one instrumented
+//! parallel run. Each timed parallel iteration builds a *fresh* cache
+//! so cross-iteration reuse cannot flatter the speedup.
+
+use criterion::{json_escape, Criterion};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use summa_dl::cache::SatCache;
+use summa_dl::classify::{classify_parallel_governed, classify_parallel_governed_with, Classifier};
+use summa_dl::concept::Vocabulary;
+use summa_dl::generate;
+use summa_dl::tableau::Tableau;
+use summa_dl::tbox::TBox;
+use summa_guard::Budget;
+
+/// Thread count for the parallel lane (the acceptance target is a
+/// ≥ 2× speedup at 4 threads on the pigeonhole workload).
+fn threads() -> usize {
+    std::env::var("SUMMA_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+struct Workload {
+    name: &'static str,
+    voc: Vocabulary,
+    tbox: TBox,
+}
+
+fn workloads() -> Vec<Workload> {
+    // The adversarial lane: incoherent pigeonhole TBox, every
+    // subsumption cell an exponential refutation.
+    // holes = 3 puts the whole 14-atom grid near 400 ms sequentially
+    // (≈ 2 ms a cell); holes = 4 already takes minutes — the workload
+    // is exponential by design, so resist the urge to turn it up.
+    let (p_voc, p_tbox, _) = generate::pigeonhole_tbox(3, 2);
+    // Generated corpora: a random EL terminology (kept small — tableau
+    // cost on random existential TBoxes grows violently with size) and
+    // a deep diamond lattice (many mid-weight cells).
+    let (e_voc, e_tbox, _) = generate::random_el(12, 2, 16, 0x5EED);
+    let (d_voc, d_tbox, _) = generate::diamond(6);
+    vec![
+        Workload {
+            name: "pigeonhole",
+            voc: p_voc,
+            tbox: p_tbox,
+        },
+        Workload {
+            name: "random_el",
+            voc: e_voc,
+            tbox: e_tbox,
+        },
+        Workload {
+            name: "diamond",
+            voc: d_voc,
+            tbox: d_tbox,
+        },
+    ]
+}
+
+fn main() {
+    let threads = threads();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let loads = workloads();
+    let mut c = Criterion::default();
+    {
+        let mut g = c.benchmark_group("classify");
+        g.sample_size(10);
+        for w in &loads {
+            g.bench_function(format!("{}/seq", w.name), |b| {
+                b.iter(|| {
+                    Tableau::new(&w.tbox, &w.voc).classify_governed(
+                        &w.tbox,
+                        &w.voc,
+                        &Budget::unlimited(),
+                    )
+                })
+            });
+            g.bench_function(format!("{}/par{threads}", w.name), |b| {
+                b.iter(|| {
+                    classify_parallel_governed(&w.tbox, &w.voc, &Budget::unlimited(), threads)
+                })
+            });
+        }
+        g.finish();
+    }
+
+    // One instrumented parallel run per workload: cache statistics, a
+    // sequential-equivalence check on the hierarchies themselves, and
+    // a warm-cache rerun against the same shared cache — the
+    // cross-run reuse `classify_parallel_governed_with` exists for.
+    let mut entries = Vec::new();
+    for w in &loads {
+        let seq = Tableau::new(&w.tbox, &w.voc)
+            .classify_governed(&w.tbox, &w.voc, &Budget::unlimited())
+            .expect_completed("unlimited");
+        let cache = Arc::new(SatCache::new());
+        let (par, spend) = classify_parallel_governed_with(
+            &w.tbox,
+            &w.voc,
+            &Budget::unlimited(),
+            threads,
+            Arc::clone(&cache),
+        );
+        let par = par.expect_completed("unlimited");
+        assert_eq!(seq, par, "parallel hierarchy must equal sequential");
+        let warm_started = std::time::Instant::now();
+        let (warm, warm_spend) = classify_parallel_governed_with(
+            &w.tbox,
+            &w.voc,
+            &Budget::unlimited(),
+            threads,
+            Arc::clone(&cache),
+        );
+        let warm_ns = warm_started.elapsed().as_nanos();
+        assert_eq!(seq, warm.expect_completed("unlimited"));
+
+        let seq_ns = c
+            .ns_per_iter("classify", &format!("{}/seq", w.name))
+            .expect("timed");
+        let par_ns = c
+            .ns_per_iter("classify", &format!("{}/par{threads}", w.name))
+            .expect("timed");
+        let speedup = seq_ns as f64 / par_ns as f64;
+        let warm_speedup = seq_ns as f64 / warm_ns.max(1) as f64;
+        let atoms = w.tbox.atoms().len();
+        println!(
+            "  {:<12} {} atoms: speedup {:.2}x cold / {:.2}x warm, cache cold {}/{} warm {}/{} hit",
+            w.name,
+            atoms,
+            speedup,
+            warm_speedup,
+            spend.cache_hits,
+            spend.cache_hits + spend.cache_misses,
+            warm_spend.cache_hits,
+            warm_spend.cache_hits + warm_spend.cache_misses,
+        );
+        let mut e = String::new();
+        write!(
+            e,
+            "    {{\"name\": \"{}\", \"atoms\": {}, \"sequential_ns\": {}, \"parallel_ns\": {}, \
+             \"speedup\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"warm_parallel_ns\": {}, \"warm_speedup\": {:.3}, \
+             \"warm_cache_hits\": {}, \"warm_cache_misses\": {}}}",
+            json_escape(w.name),
+            atoms,
+            seq_ns,
+            par_ns,
+            speedup,
+            spend.cache_hits,
+            spend.cache_misses,
+            warm_ns,
+            warm_speedup,
+            warm_spend.cache_hits,
+            warm_spend.cache_misses,
+        )
+        .expect("write to string");
+        entries.push(e);
+    }
+
+    // `host_cpus` keys the interpretation: on a single-core host the
+    // parallel lane cannot beat wall clock no matter how well the
+    // executor scales, so a speedup near 1.0 there is the expected
+    // reading, not a regression.
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_classification\",\n  \"threads\": {},\n  \"host_cpus\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        threads,
+        host_cpus,
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    println!("\nwrote {path}");
+}

@@ -56,9 +56,7 @@ impl AdmissionMatrix {
         let mut total = summa_guard::Spend::default();
         for j in self.cells.iter().flatten() {
             if let Some(s) = &j.spend {
-                total.steps += s.steps;
-                total.elapsed += s.elapsed;
-                total.peak_memory = total.peak_memory.max(s.peak_memory);
+                total.absorb(s);
             }
         }
         total
@@ -163,11 +161,13 @@ mod tests {
             steps: 3,
             elapsed: Duration::from_millis(2),
             peak_memory: 7,
+            ..summa_guard::Spend::default()
         });
         m.cells[0][1] = m.cells[0][1].clone().with_spend(summa_guard::Spend {
             steps: 4,
             elapsed: Duration::from_millis(1),
             peak_memory: 2,
+            ..summa_guard::Spend::default()
         });
         let total = m.total_spend();
         assert_eq!(total.steps, 7);

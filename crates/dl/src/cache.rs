@@ -1,0 +1,180 @@
+//! A shared, sharded satisfiability cache.
+//!
+//! Classification grids ask thousands of subsumption queries against
+//! one TBox, and parallel workers each hold their own [`Tableau`]
+//! clone — without sharing, every worker re-proves what a sibling just
+//! proved. The [`SatCache`] is a sharded `RwLock` hash map keyed by
+//! *(normalized-TBox hash, NNF query concept)* so one cache instance
+//! can safely serve many reasoners, including reasoners bound to
+//! different TBoxes.
+//!
+//! Only **completed** satisfiability answers are inserted (the tableau
+//! never caches an interrupted search), so sharing the cache cannot
+//! change any answer — it only changes how fast the answer arrives.
+//! That invariant is what makes the differential tests
+//! (parallel ≡ sequential) hold bit-for-bit.
+
+use crate::concept::Concept;
+use crate::tbox::TBox;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Number of independent shards. A power of two so shard selection is
+/// a mask; 16 is plenty for the worker counts std::thread::scope will
+/// realistically see.
+const SHARDS: usize = 16;
+
+/// Hash a TBox into the cache key space: every GCI is normalized to
+/// NNF and hashed, and the per-axiom hashes are combined
+/// order-independently, so two TBoxes that state the same axioms in a
+/// different order share cache entries.
+pub fn tbox_fingerprint(tbox: &TBox) -> u64 {
+    let mut acc: u64 = 0x5361_6e74_696e_6906; // arbitrary nonzero seed
+    for (l, r) in tbox.gcis() {
+        let mut h = DefaultHasher::new();
+        l.nnf().hash(&mut h);
+        r.nnf().hash(&mut h);
+        acc = acc.wrapping_add(h.finish());
+    }
+    acc
+}
+
+/// A concurrent satisfiability cache shared across reasoners and
+/// threads. Cheap to clone behind an `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct SatCache {
+    shards: Vec<RwLock<HashMap<(u64, Concept), bool>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SatCache {
+    pub fn new() -> Self {
+        SatCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, tbox: u64, c: &Concept) -> &RwLock<HashMap<(u64, Concept), bool>> {
+        let mut h = DefaultHasher::new();
+        tbox.hash(&mut h);
+        c.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Look up a completed answer for `c` (already in NNF) under the
+    /// TBox with fingerprint `tbox`. Counts a hit or miss.
+    pub fn get(&self, tbox: u64, c: &Concept) -> Option<bool> {
+        let found = self
+            .shard(tbox, c)
+            .read()
+            .expect("sat cache poisoned")
+            .get(&(tbox, c.clone()))
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Record a **completed** answer. Concurrent inserts of the same
+    /// key always carry the same value (the calculus is deterministic),
+    /// so last-write-wins is harmless.
+    pub fn insert(&self, tbox: u64, c: Concept, sat: bool) {
+        self.shard(tbox, &c)
+            .write()
+            .expect("sat cache poisoned")
+            .insert((tbox, c), sat);
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("sat cache poisoned").len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::Vocabulary;
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let b = Concept::atom(voc.concept("B"));
+        let c = Concept::atom(voc.concept("C"));
+        let mut t1 = TBox::new();
+        t1.subsume(a.clone(), b.clone());
+        t1.subsume(b.clone(), c.clone());
+        let mut t2 = TBox::new();
+        t2.subsume(b.clone(), c.clone());
+        t2.subsume(a.clone(), b.clone());
+        assert_eq!(tbox_fingerprint(&t1), tbox_fingerprint(&t2));
+        let mut t3 = TBox::new();
+        t3.subsume(a, c);
+        assert_ne!(tbox_fingerprint(&t1), tbox_fingerprint(&t3));
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let cache = SatCache::new();
+        assert_eq!(cache.get(7, &a), None);
+        cache.insert(7, a.clone(), true);
+        assert_eq!(cache.get(7, &a), Some(true));
+        // Different TBox fingerprint: separate entry.
+        assert_eq!(cache.get(8, &a), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let mut voc = Vocabulary::new();
+        let atoms: Vec<Concept> = (0..64)
+            .map(|i| Concept::atom(voc.concept(&format!("A{i}"))))
+            .collect();
+        let cache = Arc::new(SatCache::new());
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let cache = Arc::clone(&cache);
+                let atoms = &atoms;
+                scope.spawn(move || {
+                    for (i, c) in atoms.iter().enumerate() {
+                        cache.insert(0, c.clone(), (i + w) % 2 == 0);
+                        cache.get(0, c);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 64);
+        assert!(cache.hits() + cache.misses() == 256);
+    }
+}

@@ -1,13 +1,15 @@
 //! Classification: computing the full subsumption hierarchy over the
 //! named concepts of a TBox.
 
+use crate::cache::SatCache;
 use crate::concept::{Concept, ConceptId, Vocabulary};
 use crate::el::ElClassifier;
 use crate::error::Result;
 use crate::tableau::Tableau;
 use crate::tbox::TBox;
 use std::collections::{BTreeMap, BTreeSet};
-use summa_guard::{Budget, Governed};
+use std::sync::Arc;
+use summa_guard::{Budget, Governed, Spend};
 
 /// The computed hierarchy: for every named concept, its full set of
 /// named subsumers (reflexive–transitive).
@@ -163,6 +165,79 @@ impl Classifier for Tableau {
         }
         Governed::Completed(ClassHierarchy { subsumers })
     }
+}
+
+/// Parallel, budget-governed tableau classification over `threads`
+/// workers (see [`summa_exec`]). Each worker owns a private [`Tableau`]
+/// wired to one shared [`SatCache`], and the subsumption matrix's
+/// cells are distributed by work stealing; one [`Budget`] envelope
+/// bounds the whole grid. Results are assembled by cell index, and a
+/// partial hierarchy keeps only fully decided rows — the same
+/// guarantee as the sequential
+/// [`Classifier::classify_governed`], so an absent pair always means
+/// *not proved*.
+///
+/// On completion the hierarchy is **identical** to the sequential one:
+/// every cell is an independent satisfiability query with a
+/// deterministic answer, and only completed answers enter the cache.
+pub fn classify_parallel_governed(
+    tbox: &TBox,
+    voc: &Vocabulary,
+    budget: &Budget,
+    threads: usize,
+) -> Governed<ClassHierarchy> {
+    classify_parallel_governed_with(tbox, voc, budget, threads, Arc::new(SatCache::new())).0
+}
+
+/// [`classify_parallel_governed`] with a caller-supplied cache (shared
+/// across runs or services) and the pooled [`Spend`] — including cache
+/// hit/miss counts — reported back.
+pub fn classify_parallel_governed_with(
+    tbox: &TBox,
+    voc: &Vocabulary,
+    budget: &Budget,
+    threads: usize,
+    cache: Arc<SatCache>,
+) -> (Governed<ClassHierarchy>, Spend) {
+    let atoms: Vec<ConceptId> = tbox.atoms().into_iter().collect();
+    let n = atoms.len();
+    let atoms_ref = &atoms;
+    let outcome = summa_exec::par_cells(
+        n,
+        n,
+        budget,
+        threads,
+        |_| Tableau::new(tbox, voc).with_shared_cache(Arc::clone(&cache)),
+        |reasoner, meter, row, col| {
+            let query = Concept::and(vec![
+                Concept::atom(atoms_ref[row]),
+                Concept::not(Concept::atom(atoms_ref[col])),
+            ]);
+            reasoner.sat_metered(&query, meter).map(|sat| !sat)
+        },
+    );
+    // The outcome's spend already carries this run's cache hit/miss
+    // counts: each worker meter records them at lookup time.
+    let spend: Spend = outcome.spend;
+    let governed = outcome.into_governed(|cells| {
+        let mut subsumers = BTreeMap::new();
+        for (i, &sub) in atoms.iter().enumerate() {
+            let row = &cells[i * n..(i + 1) * n];
+            // Keep only fully decided rows, mirroring the sequential
+            // partial-result contract.
+            if row.iter().all(Option::is_some) {
+                let set: BTreeSet<ConceptId> = atoms
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| row[j] == Some(true))
+                    .map(|(_, &sup)| sup)
+                    .collect();
+                subsumers.insert(sub, set);
+            }
+        }
+        Some(ClassHierarchy { subsumers })
+    });
+    (governed, spend)
 }
 
 impl Classifier for ElClassifier {

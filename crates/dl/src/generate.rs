@@ -147,6 +147,56 @@ pub fn hard_alc(n: usize) -> (Vocabulary, Concept) {
     (voc, Concept::and(conj))
 }
 
+/// The pigeonhole TBox: `holes + 1` pigeons, `holes` holes, every
+/// pigeon in some hole (`⊤ ⊑ ⊔ⱼ Pᵢⱼ`) and no two pigeons sharing one
+/// (`⊤ ⊑ ¬Pᵢⱼ ⊔ ¬Pₖⱼ`). Incoherent, and refuting it forces the
+/// tableau through an exponential branch space — the adversarial
+/// classification workload of the governance and parallelism suites.
+/// Returns the vocabulary, the TBox, and the `n_probes` probe atoms
+/// whose classification rows carry the hard queries.
+pub fn pigeonhole_tbox(
+    holes: usize,
+    n_probes: usize,
+) -> (Vocabulary, TBox, Vec<ConceptId>) {
+    let pigeons = holes + 1;
+    let mut voc = Vocabulary::new();
+    let mut t = TBox::new();
+    let p: Vec<Vec<ConceptId>> = (0..pigeons)
+        .map(|i| {
+            (0..holes)
+                .map(|j| voc.concept(&format!("P{i}_{j}")))
+                .collect()
+        })
+        .collect();
+    for row in &p {
+        t.subsume(
+            Concept::Top,
+            Concept::or(row.iter().map(|&c| Concept::atom(c)).collect()),
+        );
+    }
+    for i in 0..pigeons {
+        for k in (i + 1)..pigeons {
+            for (&a, &b) in p[i].iter().zip(&p[k]) {
+                t.subsume(
+                    Concept::Top,
+                    Concept::or(vec![
+                        Concept::not(Concept::atom(a)),
+                        Concept::not(Concept::atom(b)),
+                    ]),
+                );
+            }
+        }
+    }
+    let probes: Vec<ConceptId> = (0..n_probes)
+        .map(|i| {
+            let probe = voc.concept(&format!("Probe{i}"));
+            t.subsume(Concept::atom(probe), Concept::atom(p[0][0]));
+            probe
+        })
+        .collect();
+    (voc, t, probes)
+}
+
 /// An unsatisfiable variant of [`hard_alc`] (adds `A₀ ⊓ GOAL`
 /// requirements that conflict): exercises full branch exploration.
 pub fn hard_alc_unsat(n: usize) -> (Vocabulary, Concept) {

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod abox;
+pub mod cache;
 pub mod classify;
 pub mod concept;
 pub mod corpus;
@@ -60,13 +61,14 @@ pub mod tbox;
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
     pub use crate::abox::{ABox, Individual};
-    pub use crate::classify::{ClassHierarchy, Classifier};
+    pub use crate::cache::{tbox_fingerprint, SatCache};
+    pub use crate::classify::{classify_parallel_governed, ClassHierarchy, Classifier};
     pub use crate::concept::{Concept, ConceptId, RoleId, Vocabulary};
     pub use crate::corpus::{animals_tbox, animals_tbox_repaired, vehicles_tbox, PaperVocab};
     pub use crate::el::ElClassifier;
     pub use crate::error::DlError;
     pub use crate::parser::{parse_axiom, parse_concept};
-    pub use crate::realize::{realize, Realization};
+    pub use crate::realize::{realize, realize_governed, realize_parallel_governed, Realization};
     pub use crate::tableau::Tableau;
     pub use crate::tbox::{Axiom, TBox};
 }

@@ -90,7 +90,16 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
                 let mut n: u32 = 0;
                 while let Some(&(_, d)) = chars.peek() {
                     if let Some(v) = d.to_digit(10) {
-                        n = n * 10 + v;
+                        // Overflowing literals are a syntax error, not
+                        // a panic (found by the corpus fuzzer).
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(v))
+                            .ok_or_else(|| DlError::Parse {
+                                input: input.to_string(),
+                                detail: "number literal too large".to_string(),
+                                offset: at,
+                            })?;
                         chars.next();
                     } else {
                         break;
@@ -122,11 +131,20 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
     Ok(out)
 }
 
+/// Maximum nesting depth of the recursive descent before parsing is
+/// refused. The recursion `unary → concept → conj → unary` otherwise
+/// grows the call stack linearly with input nesting, and inputs like
+/// `"(".repeat(2000)` overflow it (found by the corpus fuzzer). Deep
+/// enough for any concept a human or the generators write; shallow
+/// enough to stay far from the 2 MiB test-thread stack.
+const MAX_NESTING: usize = 256;
+
 struct Parser<'a> {
     toks: Vec<(Tok, usize)>,
     pos: usize,
     voc: &'a mut Vocabulary,
     input: String,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -229,6 +247,16 @@ impl<'a> Parser<'a> {
 
     fn unary(&mut self) -> Result<Concept> {
         let at = self.offset();
+        if self.depth >= MAX_NESTING {
+            return Err(self.err_at(at, format!("nesting deeper than {MAX_NESTING}")));
+        }
+        self.depth += 1;
+        let out = self.unary_inner(at);
+        self.depth -= 1;
+        out
+    }
+
+    fn unary_inner(&mut self, at: usize) -> Result<Concept> {
         match self.next() {
             Some(Tok::Tilde) => Ok(Concept::not(self.unary()?)),
             Some(Tok::LParen) => {
@@ -257,6 +285,7 @@ pub fn parse_concept(input: &str, voc: &mut Vocabulary) -> Result<Concept> {
         pos: 0,
         voc,
         input: input.to_string(),
+        depth: 0,
     };
     let c = p.concept()?;
     if p.pos != p.toks.len() {
@@ -272,6 +301,7 @@ pub fn parse_axiom(input: &str, voc: &mut Vocabulary) -> Result<Axiom> {
         pos: 0,
         voc,
         input: input.to_string(),
+        depth: 0,
     };
     let lhs = p.concept()?;
     let op_at = p.offset();
@@ -385,6 +415,25 @@ mod tests {
             Err(DlError::Parse { offset, .. }) => assert_eq!(offset, 2),
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn hostile_inputs_error_instead_of_crashing() {
+        let mut v = Vocabulary::new();
+        // Lexer: a literal past u32::MAX must not overflow-panic.
+        match parse_concept("atleast 99999999999999999999 r.top", &mut v) {
+            Err(DlError::Parse { detail, .. }) => assert!(detail.contains("too large")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Parser: pathological nesting must not overflow the stack.
+        let deep = "(".repeat(10_000);
+        match parse_concept(&deep, &mut v) {
+            Err(DlError::Parse { detail, .. }) => assert!(detail.contains("nesting")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Reasonable nesting still parses.
+        let ok = format!("{}top{}", "(".repeat(200), ")".repeat(200));
+        assert!(parse_concept(&ok, &mut v).is_ok());
     }
 
     #[test]

@@ -136,6 +136,95 @@ pub fn realize_governed(
     }
 }
 
+/// Parallel, budget-governed realization: individuals are distributed
+/// across `threads` workers, each holding a private [`Tableau`] wired
+/// to one shared [`SatCache`](crate::cache::SatCache), under a single
+/// shared envelope. Each worker realizes *whole* individuals, so the
+/// partial on exhaustion only ever contains fully decided rows — the
+/// sequential [`realize_governed`] contract — and the completed result
+/// is identical to the sequential one.
+pub fn realize_parallel_governed(
+    tbox: &TBox,
+    abox: &ABox,
+    voc: &Vocabulary,
+    budget: &Budget,
+    threads: usize,
+) -> Governed<Realization> {
+    use crate::cache::SatCache;
+    use std::sync::Arc;
+
+    let cache = Arc::new(SatCache::new());
+    let individuals: Vec<Individual> = abox.individuals().collect();
+    let atoms: Vec<ConceptId> = voc.concepts().collect();
+    let atoms_ref = &atoms;
+    let outcome = summa_exec::par_map_with(
+        &individuals,
+        budget,
+        threads,
+        |_| Tableau::new(tbox, voc).with_shared_cache(Arc::clone(&cache)),
+        |reasoner, meter, _, &ind| {
+            let mut set = BTreeSet::new();
+            for &c in atoms_ref {
+                let mut extended = abox.clone();
+                extended.assert_concept(ind, Concept::not(Concept::atom(c)));
+                if !reasoner.consistent_metered(&extended, meter)? {
+                    set.insert(c);
+                }
+            }
+            let specific = most_specific_of_set(reasoner, meter, &set)?;
+            Ok((set, specific))
+        },
+    );
+    outcome.into_governed(|slots| {
+        let mut types = BTreeMap::new();
+        let mut most_specific = BTreeMap::new();
+        for (ind, slot) in individuals.iter().zip(slots) {
+            if let Some((set, specific)) = slot {
+                types.insert(*ind, set);
+                most_specific.insert(*ind, specific);
+            }
+        }
+        Some(Realization {
+            types,
+            most_specific,
+        })
+    })
+}
+
+/// Filter an individual's entailed types down to the most specific
+/// ones (drop any type that strictly subsumes another held type).
+fn most_specific_of_set(
+    reasoner: &mut Tableau,
+    meter: &mut Meter,
+    set: &BTreeSet<ConceptId>,
+) -> std::result::Result<BTreeSet<ConceptId>, Interrupt> {
+    let mut specific = BTreeSet::new();
+    for &c in set {
+        let mut dominated = false;
+        for &d in set {
+            if d == c {
+                continue;
+            }
+            let c_subsumes_d = !reasoner.sat_metered(
+                &Concept::and(vec![Concept::atom(d), Concept::not(Concept::atom(c))]),
+                meter,
+            )?;
+            let d_subsumes_c = !reasoner.sat_metered(
+                &Concept::and(vec![Concept::atom(c), Concept::not(Concept::atom(d))]),
+                meter,
+            )?;
+            if c_subsumes_d && !d_subsumes_c {
+                dominated = true;
+                break;
+            }
+        }
+        if !dominated {
+            specific.insert(c);
+        }
+    }
+    Ok(specific)
+}
+
 /// The metered realization loop: fills `types` and `most_specific`
 /// one *complete* individual at a time so an interrupt leaves only
 /// fully decided rows behind.
@@ -161,36 +250,7 @@ fn realize_metered(
         // Most specific among the entailed types, decided before the
         // row is published so partial results never hold an
         // unfiltered set.
-        let mut specific = BTreeSet::new();
-        for &c in &set {
-            let mut dominated = false;
-            for &d in &set {
-                if d == c {
-                    continue;
-                }
-                let c_subsumes_d = !reasoner.sat_metered(
-                    &Concept::and(vec![
-                        Concept::atom(d),
-                        Concept::not(Concept::atom(c)),
-                    ]),
-                    meter,
-                )?;
-                let d_subsumes_c = !reasoner.sat_metered(
-                    &Concept::and(vec![
-                        Concept::atom(c),
-                        Concept::not(Concept::atom(d)),
-                    ]),
-                    meter,
-                )?;
-                if c_subsumes_d && !d_subsumes_c {
-                    dominated = true;
-                    break;
-                }
-            }
-            if !dominated {
-                specific.insert(c);
-            }
-        }
+        let specific = most_specific_of_set(reasoner, meter, &set)?;
         types.insert(ind, set);
         most_specific.insert(ind, specific);
     }

@@ -15,10 +15,12 @@
 //! unique-name assumption.
 
 use crate::abox::ABox;
+use crate::cache::{tbox_fingerprint, SatCache};
 use crate::concept::{Concept, RoleId, Vocabulary};
 use crate::error::{DlError, Result};
 use crate::tbox::TBox;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use summa_guard::{Budget, Governed, Interrupt, Meter};
 
 /// Default node budget per satisfiability call.
@@ -61,6 +63,13 @@ pub struct Tableau {
     budget: usize,
     /// Memoized satisfiability results keyed by (NNF) input concept.
     cache: BTreeMap<Concept, bool>,
+    /// Optional cross-reasoner cache shared with sibling workers; only
+    /// completed answers are published, so sharing never changes any
+    /// result.
+    shared: Option<Arc<SatCache>>,
+    /// Normalized-TBox fingerprint keying this reasoner's entries in
+    /// the shared cache.
+    fingerprint: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -226,6 +235,8 @@ impl Tableau {
             absorbed,
             budget: DEFAULT_NODE_BUDGET,
             cache: BTreeMap::new(),
+            shared: None,
+            fingerprint: tbox_fingerprint(tbox),
         }
     }
 
@@ -240,12 +251,23 @@ impl Tableau {
             absorbed: BTreeMap::new(),
             budget: DEFAULT_NODE_BUDGET,
             cache: BTreeMap::new(),
+            shared: None,
+            fingerprint: tbox_fingerprint(tbox),
         }
     }
 
     /// Override the node budget.
     pub fn with_budget(mut self, budget: usize) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Attach a cross-reasoner [`SatCache`]: completed answers are
+    /// published to (and looked up from) the shared map keyed by this
+    /// reasoner's TBox fingerprint. See the `cache` module for why
+    /// sharing is answer-preserving.
+    pub fn with_shared_cache(mut self, cache: Arc<SatCache>) -> Self {
+        self.shared = Some(cache);
         self
     }
 
@@ -299,6 +321,16 @@ impl Tableau {
         if let Some(&r) = self.cache.get(&nnf) {
             return Ok(r);
         }
+        if let Some(shared) = &self.shared {
+            match shared.get(self.fingerprint, &nnf) {
+                Some(r) => {
+                    meter.note_cache_hit();
+                    self.cache.insert(nnf, r);
+                    return Ok(r);
+                }
+                None => meter.note_cache_miss(),
+            }
+        }
         let mut st = State::new();
         let mut label: BTreeSet<Concept> = BTreeSet::new();
         label.insert(nnf.clone());
@@ -310,6 +342,9 @@ impl Tableau {
         );
         // Only completed searches are memoized: a budget-interrupted
         // run has no answer to cache (and never reaches this line).
+        if let Some(shared) = &self.shared {
+            shared.insert(self.fingerprint, nnf.clone(), sat);
+        }
         self.cache.insert(nnf, sat);
         Ok(sat)
     }

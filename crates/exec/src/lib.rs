@@ -1,0 +1,393 @@
+//! # summa-exec — a governed, scoped, work-stealing executor
+//!
+//! The paper's critiques are carried by worst-case-exponential grids of
+//! *independent* cells: classification matrices, admission matrices,
+//! isomorphism candidate sets, collapse sweeps. This crate spends the
+//! hardware on those grids while keeping PR 1's resource governance
+//! intact: every worker charges one [`SharedBudget`] envelope, so step
+//! pools, deadlines, memory proxies, cancellation, and injected faults
+//! all propagate cooperatively across threads, and a
+//! [`Governed`] partial is assembled from whichever cells completed.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No dependencies.** std::thread scoped spawns only — the
+//!    workspace builds offline.
+//! 2. **No `unsafe`.** Work items are read through a shared slice;
+//!    results travel back as `(index, value)` pairs through the scoped
+//!    join, and the pool assembles them *by index*, so output is
+//!    byte-identical regardless of thread count or steal order.
+//! 3. **Cooperative interruption.** A worker whose meter trips stops
+//!    draining the queue; the trip is published through the shared
+//!    ledger so every sibling stops at its next charge. Cells that
+//!    never ran are simply absent from the partial.
+//!
+//! Work distribution is round-robin pre-seeding into per-worker deques
+//! with stealing from the busiest sibling when a worker runs dry —
+//! enough to level the wildly skewed cell costs a tableau grid
+//! produces, without a scheduler thread.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use summa_guard::{Budget, Governed, Interrupt, Meter, Spend};
+
+/// Number of worker threads to use by default: the `SUMMA_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism (and 1 when even that is unknown).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("SUMMA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// What came back from a parallel map: per-item slots (in input
+/// order, `None` for cells the envelope ran out before deciding), the
+/// pooled spend, and the first interrupt any worker hit.
+#[derive(Debug)]
+pub struct ParOutcome<R> {
+    /// `results[i]` corresponds to `items[i]`; `None` means the cell
+    /// was not decided before the envelope tripped.
+    pub results: Vec<Option<R>>,
+    /// Pooled steps/elapsed/peak plus summed per-worker cache
+    /// counters.
+    pub spend: Spend,
+    /// The first interrupt any worker hit, if one did.
+    pub interrupted: Option<Interrupt>,
+}
+
+impl<R> ParOutcome<R> {
+    /// Did every cell complete with no interrupt?
+    pub fn is_complete(&self) -> bool {
+        self.interrupted.is_none() && self.results.iter().all(|r| r.is_some())
+    }
+
+    /// Fold into the standard [`Governed`] shape: `assemble` receives
+    /// the per-item slots and builds the caller's result type,
+    /// returning `None` when nothing truthful can be salvaged.
+    pub fn into_governed<T>(
+        self,
+        assemble: impl FnOnce(Vec<Option<R>>) -> Option<T>,
+    ) -> Governed<T> {
+        match self.interrupted {
+            None => match assemble(self.results) {
+                Some(t) => Governed::Completed(t),
+                None => Governed::Cancelled { partial: None },
+            },
+            Some(Interrupt::Exhausted(reason)) => Governed::Exhausted {
+                reason,
+                partial: assemble(self.results),
+            },
+            Some(Interrupt::Cancelled) => Governed::Cancelled {
+                partial: assemble(self.results),
+            },
+        }
+    }
+}
+
+/// Per-worker work queues with stealing. Indices only — the items
+/// themselves stay in the caller's slice.
+struct StealQueues {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueues {
+    /// Round-robin pre-seeding: item `i` starts on worker `i % w`.
+    /// Interleaving (rather than chunking) spreads the expensive
+    /// region of a grid across workers even before any stealing.
+    fn seed(n_items: usize, workers: usize) -> Self {
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for i in 0..n_items {
+            deques[i % workers].push_back(i);
+        }
+        StealQueues {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Next index for worker `w`: own deque first, then steal from the
+    /// *back* of the fullest sibling (halving contention on the
+    /// victim's hot front).
+    fn next(&self, w: usize) -> Option<usize> {
+        if let Some(i) = self.deques[w].lock().expect("queue poisoned").pop_front() {
+            return Some(i);
+        }
+        // Pick the currently longest sibling queue as the victim.
+        let mut victim: Option<(usize, usize)> = None;
+        for (v, dq) in self.deques.iter().enumerate() {
+            if v == w {
+                continue;
+            }
+            let len = dq.lock().expect("queue poisoned").len();
+            if len > 0 && victim.map(|(_, best)| len > best).unwrap_or(true) {
+                victim = Some((v, len));
+            }
+        }
+        let (v, _) = victim?;
+        self.deques[v].lock().expect("queue poisoned").pop_back()
+    }
+}
+
+/// Parallel map with worker-local state.
+///
+/// `init(worker_id)` builds each worker's private scratch (a tableau,
+/// a definition set — anything `!Sync` or needing `&mut`); `f` is
+/// called as `f(&mut state, &mut meter, index, &items[index])` and
+/// returns `Err` exactly when the meter interrupts, at which point the
+/// worker stops draining and the interrupt is already published to its
+/// siblings through the shared ledger.
+///
+/// With `threads <= 1` (or one item) everything runs inline on the
+/// caller's thread — same code path, no spawns.
+pub fn par_map_with<T, R, S, I, F>(
+    items: &[T],
+    budget: &Budget,
+    threads: usize,
+    init: I,
+    f: F,
+) -> ParOutcome<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, &mut Meter, usize, &T) -> Result<R, Interrupt> + Sync,
+{
+    let shared = budget.share();
+    let workers = threads.max(1).min(items.len().max(1));
+    let queues = StealQueues::seed(items.len(), workers);
+
+    let run_worker = |w: usize| -> (Vec<(usize, R)>, Spend) {
+        let mut state = init(w);
+        let mut meter = shared.worker_meter();
+        let mut done: Vec<(usize, R)> = Vec::new();
+        while let Some(idx) = queues.next(w) {
+            match f(&mut state, &mut meter, idx, &items[idx]) {
+                Ok(r) => done.push((idx, r)),
+                // The meter is sticky and the trip is already on the
+                // ledger; stop draining.
+                Err(_) => break,
+            }
+        }
+        (done, meter.spend())
+    };
+
+    let mut worker_outputs: Vec<(Vec<(usize, R)>, Spend)> = Vec::with_capacity(workers);
+    if workers <= 1 {
+        worker_outputs.push(run_worker(0));
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| scope.spawn(move || run_worker(w)))
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(out) => worker_outputs.push(out),
+                    // A panicking worker loses its cells; the grid
+                    // degrades to a partial rather than poisoning the
+                    // caller.
+                    Err(_) => worker_outputs.push((Vec::new(), Spend::default())),
+                }
+            }
+        });
+    }
+
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(items.len(), || None);
+    // Pooled steps / wall-clock elapsed / peak come from the shared
+    // envelope; per-worker cache counters are summed on top.
+    let mut spend = shared.spend();
+    for (cells, wspend) in worker_outputs {
+        spend.cache_hits = spend.cache_hits.saturating_add(wspend.cache_hits);
+        spend.cache_misses = spend.cache_misses.saturating_add(wspend.cache_misses);
+        for (i, r) in cells {
+            results[i] = Some(r);
+        }
+    }
+
+    ParOutcome {
+        results,
+        spend,
+        interrupted: shared.interrupted(),
+    }
+}
+
+/// [`par_map_with`] without worker-local state.
+pub fn par_map<T, R, F>(items: &[T], budget: &Budget, threads: usize, f: F) -> ParOutcome<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut Meter, usize, &T) -> Result<R, Interrupt> + Sync,
+{
+    par_map_with(items, budget, threads, |_| (), |_, m, i, t| f(m, i, t))
+}
+
+/// Map over an `rows × cols` grid in row-major order. `f` receives
+/// `(state, meter, row, col)`; the outcome's `results` are row-major
+/// (`results[r * cols + c]`).
+pub fn par_cells<R, S, I, F>(
+    rows: usize,
+    cols: usize,
+    budget: &Budget,
+    threads: usize,
+    init: I,
+    f: F,
+) -> ParOutcome<R>
+where
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, &mut Meter, usize, usize) -> Result<R, Interrupt> + Sync,
+{
+    let cells: Vec<(usize, usize)> = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| (r, c)))
+        .collect();
+    par_map_with(&cells, budget, threads, init, |s, m, _, &(r, c)| {
+        f(s, m, r, c)
+    })
+}
+
+pub mod prelude {
+    pub use crate::{default_threads, par_cells, par_map, par_map_with, ParOutcome};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summa_guard::{CancelToken, ExhaustionReason, FaultPlan};
+
+    #[test]
+    fn par_map_matches_sequential_at_any_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<Option<u64>> = items.iter().map(|x| Some(x * x)).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = par_map(&items, &Budget::unlimited(), threads, |m, _, &x| {
+                m.charge(1)?;
+                Ok(x * x)
+            });
+            assert!(out.is_complete());
+            assert_eq!(out.results, expected, "threads = {threads}");
+            assert_eq!(out.spend.steps, 100);
+        }
+    }
+
+    #[test]
+    fn starved_pool_yields_partial_with_reason() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, &Budget::new().with_steps(50), 4, |m, _, &x| {
+            m.charge(1)?;
+            Ok(x)
+        });
+        assert_eq!(
+            out.interrupted,
+            Some(Interrupt::Exhausted(ExhaustionReason::Steps))
+        );
+        let decided = out.results.iter().flatten().count();
+        assert!(decided <= 50, "at most one cell per pooled step");
+        // Every decided cell is truthful.
+        for (i, r) in out.results.iter().enumerate() {
+            if let Some(v) = r {
+                assert_eq!(*v, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_all_workers() {
+        let token = CancelToken::new();
+        let budget = Budget::new().with_cancel(token.clone());
+        token.cancel();
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = par_map(&items, &budget, 4, |m, _, &x| {
+            // checkpoint() forces the token check regardless of the
+            // check interval.
+            m.checkpoint()?;
+            Ok(x)
+        });
+        assert_eq!(out.interrupted, Some(Interrupt::Cancelled));
+        assert!(!out.is_complete());
+    }
+
+    #[test]
+    fn one_shot_fault_in_one_worker_degrades_cleanly() {
+        let budget = Budget::new().with_fault(FaultPlan::fail_once_at_step(20));
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, &budget, 4, |m, _, &x| {
+            m.charge(1)?;
+            Ok(x)
+        });
+        assert_eq!(
+            out.interrupted,
+            Some(Interrupt::Exhausted(ExhaustionReason::FaultInjected))
+        );
+        let decided = out.results.iter().flatten().count();
+        assert!(decided < 64, "the fault cost at least one cell");
+        assert!(decided >= 1, "siblings decided cells before the fault");
+    }
+
+    #[test]
+    fn worker_local_state_is_per_worker() {
+        let items: Vec<u64> = (0..200).collect();
+        let out = par_map_with(
+            &items,
+            &Budget::unlimited(),
+            4,
+            |w| (w, 0u64),
+            |(_, count), m, _, &x| {
+                m.charge(1)?;
+                *count += 1;
+                Ok(x + 1)
+            },
+        );
+        assert!(out.is_complete());
+        assert_eq!(
+            out.results.iter().flatten().sum::<u64>(),
+            (1..=200).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn par_cells_is_row_major() {
+        let out = par_cells(3, 4, &Budget::unlimited(), 2, |_| (), |_, m, r, c| {
+            m.charge(1)?;
+            Ok(r * 10 + c)
+        });
+        assert!(out.is_complete());
+        assert_eq!(out.results[4 + 2], Some(12));
+        assert_eq!(out.results.len(), 12);
+    }
+
+    #[test]
+    fn into_governed_maps_interrupts() {
+        let items: Vec<u64> = (0..10).collect();
+        let out = par_map(&items, &Budget::new().with_steps(3), 2, |m, _, &x| {
+            m.charge(1)?;
+            Ok(x)
+        });
+        let governed = out.into_governed(|slots| {
+            let decided: Vec<u64> = slots.into_iter().flatten().collect();
+            if decided.is_empty() {
+                None
+            } else {
+                Some(decided)
+            }
+        });
+        match governed {
+            Governed::Exhausted {
+                reason: ExhaustionReason::Steps,
+                partial: Some(p),
+            } => assert!(!p.is_empty()),
+            other => panic!("expected exhausted partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

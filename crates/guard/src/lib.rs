@@ -36,7 +36,7 @@
 //! bounds the *whole* service, not each sub-call separately.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -88,12 +88,24 @@ impl CancelToken {
 /// step with a fixed probability drawn from a seeded generator
 /// ([`probabilistic`](Self::probabilistic)). Injected faults surface
 /// as [`ExhaustionReason::FaultInjected`] — never as a panic.
+///
+/// Plans are `Send + Sync` and cheap to clone, so one plan can be
+/// shared across every worker of a parallel run. By default each
+/// clone fires independently; [`fail_once_at_step`]
+/// (Self::fail_once_at_step) arms a *shared* one-shot trigger instead,
+/// so exactly one worker (whichever crosses the step mark first)
+/// observes the fault — the idiom for testing that a single poisoned
+/// worker degrades a parallel service cleanly.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     fail_at: Option<u64>,
     /// Probability scaled to u64::MAX; 0 disables.
     per_step_threshold: u64,
     seed: u64,
+    /// When present, the fault fires at most once across *all* clones
+    /// of this plan: the flag starts `true` and the first claimant
+    /// swaps it to `false`.
+    armed: Option<Arc<AtomicBool>>,
 }
 
 impl FaultPlan {
@@ -101,6 +113,17 @@ impl FaultPlan {
     pub fn fail_at_step(step: u64) -> Self {
         FaultPlan {
             fail_at: Some(step),
+            ..Default::default()
+        }
+    }
+
+    /// Fail exactly **one** holder of this plan (or its clones) when
+    /// its step count reaches `step`. Clones share the trigger: after
+    /// the first firing every other worker proceeds unfaulted.
+    pub fn fail_once_at_step(step: u64) -> Self {
+        FaultPlan {
+            fail_at: Some(step),
+            armed: Some(Arc::new(AtomicBool::new(true))),
             ..Default::default()
         }
     }
@@ -113,12 +136,26 @@ impl FaultPlan {
             fail_at: None,
             per_step_threshold: (p * u64::MAX as f64) as u64,
             seed,
+            armed: None,
         }
+    }
+
+    /// Has the shared one-shot trigger already fired? (Always `false`
+    /// for per-clone plans.)
+    pub fn fired(&self) -> bool {
+        self.armed
+            .as_ref()
+            .map(|a| !a.load(Ordering::Relaxed))
+            .unwrap_or(false)
     }
 
     fn should_fail(&self, step: u64, rng_state: &mut u64) -> bool {
         if let Some(at) = self.fail_at {
             if step >= at {
+                // One-shot plans fire for the first claimant only.
+                if let Some(armed) = &self.armed {
+                    return armed.swap(false, Ordering::AcqRel);
+                }
                 return true;
             }
         }
@@ -214,6 +251,199 @@ impl Budget {
     pub fn meter(&self) -> Meter {
         Meter::new(self)
     }
+
+    /// Turn this budget into a **shared** envelope that several worker
+    /// meters can drain concurrently. One pool of steps and memory
+    /// units bounds the whole parallel computation, and the first
+    /// interrupt any worker hits is published to all of them.
+    pub fn share(&self) -> SharedBudget {
+        SharedBudget::new(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// SharedBudget — one envelope, many workers
+// ---------------------------------------------------------------------
+
+/// Tripped-state encoding for the shared ledger (0 = running).
+const TRIP_NONE: u8 = 0;
+const TRIP_STEPS: u8 = 1;
+const TRIP_DEADLINE: u8 = 2;
+const TRIP_MEMORY: u8 = 3;
+const TRIP_FAULT: u8 = 4;
+const TRIP_CANCELLED: u8 = 5;
+
+fn encode_interrupt(i: Interrupt) -> u8 {
+    match i {
+        Interrupt::Exhausted(ExhaustionReason::Steps) => TRIP_STEPS,
+        Interrupt::Exhausted(ExhaustionReason::Deadline) => TRIP_DEADLINE,
+        Interrupt::Exhausted(ExhaustionReason::Memory) => TRIP_MEMORY,
+        Interrupt::Exhausted(ExhaustionReason::FaultInjected) => TRIP_FAULT,
+        Interrupt::Cancelled => TRIP_CANCELLED,
+    }
+}
+
+fn decode_interrupt(code: u8) -> Option<Interrupt> {
+    match code {
+        TRIP_STEPS => Some(Interrupt::Exhausted(ExhaustionReason::Steps)),
+        TRIP_DEADLINE => Some(Interrupt::Exhausted(ExhaustionReason::Deadline)),
+        TRIP_MEMORY => Some(Interrupt::Exhausted(ExhaustionReason::Memory)),
+        TRIP_FAULT => Some(Interrupt::Exhausted(ExhaustionReason::FaultInjected)),
+        TRIP_CANCELLED => Some(Interrupt::Cancelled),
+        _ => None,
+    }
+}
+
+/// The concurrent spend pool behind a [`SharedBudget`]: all worker
+/// meters charge the same atomic counters, so the envelope bounds the
+/// parallel computation as a whole, exactly as a sequential [`Meter`]
+/// bounds a sequential one.
+#[derive(Debug)]
+pub(crate) struct SharedLedger {
+    max_steps: Option<u64>,
+    steps: AtomicU64,
+    max_memory: Option<u64>,
+    memory: AtomicU64,
+    peak_memory: AtomicU64,
+    /// First interrupt any worker hit; sticky once set.
+    tripped: AtomicU8,
+}
+
+impl SharedLedger {
+    /// Record an interrupt (first writer wins) and return the
+    /// prevailing one.
+    fn trip(&self, i: Interrupt) -> Interrupt {
+        let _ = self.tripped.compare_exchange(
+            TRIP_NONE,
+            encode_interrupt(i),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        decode_interrupt(self.tripped.load(Ordering::Acquire)).unwrap_or(i)
+    }
+
+    fn interrupted(&self) -> Option<Interrupt> {
+        decode_interrupt(self.tripped.load(Ordering::Acquire))
+    }
+
+    /// Add `n` steps to the pool; `Err` when the pool is exhausted or
+    /// a sibling worker already tripped.
+    fn charge(&self, n: u64) -> Result<u64, Interrupt> {
+        if let Some(i) = self.interrupted() {
+            return Err(i);
+        }
+        let total = self.steps.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        if let Some(max) = self.max_steps {
+            if total > max {
+                return Err(self.trip(Interrupt::Exhausted(ExhaustionReason::Steps)));
+            }
+        }
+        Ok(total)
+    }
+
+    fn charge_memory(&self, n: u64) -> Result<(), Interrupt> {
+        if let Some(i) = self.interrupted() {
+            return Err(i);
+        }
+        let total = self.memory.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        self.peak_memory.fetch_max(total, Ordering::Relaxed);
+        if let Some(max) = self.max_memory {
+            if total > max {
+                return Err(self.trip(Interrupt::Exhausted(ExhaustionReason::Memory)));
+            }
+        }
+        Ok(())
+    }
+
+    fn release_memory(&self, n: u64) {
+        // Saturating subtract via CAS loop would be overkill: releases
+        // never exceed charges in well-behaved engines, and transient
+        // under-run only loosens the (proxy) limit.
+        self.memory.fetch_sub(n, Ordering::Relaxed);
+    }
+}
+
+/// A [`Budget`] prepared for concurrent draining: hand each worker a
+/// meter from [`worker_meter`](Self::worker_meter) and they will share
+/// one pool of steps and memory units, one deadline (measured from
+/// [`Budget::share`]), one cancel token, and one fault plan. The first
+/// interrupt any worker hits is published through the ledger, so every
+/// sibling stops at its next charge — cooperative cancellation across
+/// threads with no extra plumbing at call sites.
+#[derive(Debug, Clone)]
+pub struct SharedBudget {
+    ledger: Arc<SharedLedger>,
+    deadline: Option<Instant>,
+    started: Instant,
+    cancel: Option<CancelToken>,
+    fault: Option<FaultPlan>,
+}
+
+impl SharedBudget {
+    fn new(budget: &Budget) -> Self {
+        let started = Instant::now();
+        SharedBudget {
+            ledger: Arc::new(SharedLedger {
+                max_steps: budget.max_steps,
+                steps: AtomicU64::new(0),
+                max_memory: budget.max_memory,
+                memory: AtomicU64::new(0),
+                peak_memory: AtomicU64::new(0),
+                tripped: AtomicU8::new(TRIP_NONE),
+            }),
+            deadline: budget.max_duration.map(|d| started + d),
+            started,
+            cancel: budget.cancel.clone(),
+            fault: budget.fault.clone(),
+        }
+    }
+
+    /// A meter for one worker. Step and memory charges drain the
+    /// shared pool; deadline and cancellation are checked against the
+    /// shared clock and token at the usual check interval.
+    pub fn worker_meter(&self) -> Meter {
+        Meter {
+            max_steps: None, // limits live in the ledger
+            deadline: self.deadline,
+            max_memory: None,
+            cancel: self.cancel.clone(),
+            fault: self.fault.clone(),
+            fault_rng: self.fault.as_ref().map(|f| f.seed).unwrap_or(0),
+            started: self.started,
+            steps: 0,
+            memory: 0,
+            peak_memory: 0,
+            next_check: 0,
+            tripped: None,
+            cache_hits: 0,
+            cache_misses: 0,
+            shared: Some(Arc::clone(&self.ledger)),
+        }
+    }
+
+    /// The first interrupt any worker hit, if one did.
+    pub fn interrupted(&self) -> Option<Interrupt> {
+        self.ledger.interrupted()
+    }
+
+    /// Publish an interrupt to every worker (e.g. when the
+    /// orchestrating thread decides to stop the fleet).
+    pub fn trip(&self, i: Interrupt) {
+        self.ledger.trip(i);
+    }
+
+    /// Snapshot the pooled spend across all workers. Per-worker cache
+    /// counters are not pooled here — aggregate worker
+    /// [`Meter::spend`]s for those.
+    pub fn spend(&self) -> Spend {
+        Spend {
+            steps: self.ledger.steps.load(Ordering::Relaxed),
+            elapsed: self.started.elapsed(),
+            peak_memory: self.ledger.peak_memory.load(Ordering::Relaxed),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -280,6 +510,24 @@ pub struct Spend {
     pub elapsed: Duration,
     /// Peak memory-proxy units charged.
     pub peak_memory: u64,
+    /// Shared-cache hits observed (e.g. the concurrent subsumption
+    /// cache); 0 when the computation consulted no shared cache.
+    pub cache_hits: u64,
+    /// Shared-cache misses observed.
+    pub cache_misses: u64,
+}
+
+impl Spend {
+    /// Fold another spend into this one (steps/cache counts add,
+    /// elapsed adds, peak memory takes the max) — for aggregating
+    /// per-worker spends into a service total.
+    pub fn absorb(&mut self, other: &Spend) {
+        self.steps = self.steps.saturating_add(other.steps);
+        self.elapsed += other.elapsed;
+        self.peak_memory = self.peak_memory.max(other.peak_memory);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
+    }
 }
 
 impl fmt::Display for Spend {
@@ -292,6 +540,9 @@ impl fmt::Display for Spend {
         )?;
         if self.peak_memory > 0 {
             write!(f, ", {} mem units", self.peak_memory)?;
+        }
+        if self.cache_hits > 0 || self.cache_misses > 0 {
+            write!(f, ", cache {}/{} hit", self.cache_hits, self.cache_hits + self.cache_misses)?;
         }
         Ok(())
     }
@@ -321,6 +572,12 @@ pub struct Meter {
     peak_memory: u64,
     next_check: u64,
     tripped: Option<Interrupt>,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Present on worker meters from [`SharedBudget::worker_meter`]:
+    /// step/memory charges drain the shared pool instead of the local
+    /// limits, and interrupts propagate through it.
+    shared: Option<Arc<SharedLedger>>,
 }
 
 impl Meter {
@@ -339,6 +596,9 @@ impl Meter {
             peak_memory: 0,
             next_check: 0,
             tripped: None,
+            cache_hits: 0,
+            cache_misses: 0,
+            shared: None,
         }
     }
 
@@ -357,13 +617,22 @@ impl Meter {
             return Err(i);
         }
         self.steps = self.steps.saturating_add(n);
-        if let Some(max) = self.max_steps {
+        // `fault_step` is the coordinate deterministic fault plans fire
+        // against: the worker-local step count for private meters, the
+        // pooled total for shared ones.
+        let mut fault_step = self.steps;
+        if let Some(ledger) = &self.shared {
+            match ledger.charge(n) {
+                Ok(total) => fault_step = total,
+                Err(i) => return self.trip(i),
+            }
+        } else if let Some(max) = self.max_steps {
             if self.steps > max {
                 return self.trip(Interrupt::Exhausted(ExhaustionReason::Steps));
             }
         }
         if let Some(plan) = self.fault.clone() {
-            if plan.should_fail(self.steps, &mut self.fault_rng) {
+            if plan.should_fail(fault_step, &mut self.fault_rng) {
                 return self.trip(Interrupt::Exhausted(ExhaustionReason::FaultInjected));
             }
         }
@@ -391,7 +660,11 @@ impl Meter {
         }
         self.memory = self.memory.saturating_add(n);
         self.peak_memory = self.peak_memory.max(self.memory);
-        if let Some(max) = self.max_memory {
+        if let Some(ledger) = &self.shared {
+            if let Err(i) = ledger.charge_memory(n) {
+                return self.trip(i);
+            }
+        } else if let Some(max) = self.max_memory {
             if self.memory > max {
                 return self.trip(Interrupt::Exhausted(ExhaustionReason::Memory));
             }
@@ -403,6 +676,9 @@ impl Meter {
     #[inline]
     pub fn release_memory(&mut self, n: u64) {
         self.memory = self.memory.saturating_sub(n);
+        if let Some(ledger) = &self.shared {
+            ledger.release_memory(n);
+        }
     }
 
     /// Force an immediate deadline/cancellation check regardless of
@@ -413,8 +689,26 @@ impl Meter {
     }
 
     fn trip(&mut self, i: Interrupt) -> Result<(), Interrupt> {
+        // Publish to siblings first; an earlier trip by another worker
+        // wins, so every meter in the pool reports the same interrupt.
+        let i = match &self.shared {
+            Some(ledger) => ledger.trip(i),
+            None => i,
+        };
         self.tripped = Some(i);
         Err(i)
+    }
+
+    /// Record a subsumption-cache hit (surfaced in [`Spend`]).
+    #[inline]
+    pub fn note_cache_hit(&mut self) {
+        self.cache_hits = self.cache_hits.saturating_add(1);
+    }
+
+    /// Record a subsumption-cache miss (surfaced in [`Spend`]).
+    #[inline]
+    pub fn note_cache_miss(&mut self) {
+        self.cache_misses = self.cache_misses.saturating_add(1);
     }
 
     /// Steps charged so far.
@@ -433,6 +727,8 @@ impl Meter {
             steps: self.steps,
             elapsed: self.started.elapsed(),
             peak_memory: self.peak_memory,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
         }
     }
 }
@@ -547,13 +843,106 @@ impl<T> Governed<T> {
 /// Convenience prelude: `use summa_guard::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        Budget, CancelToken, ExhaustionReason, FaultPlan, Governed, Interrupt, Meter, Spend,
+        Budget, CancelToken, ExhaustionReason, FaultPlan, Governed, Interrupt, Meter, SharedBudget,
+        Spend,
     };
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_budget_pools_steps_across_meters() {
+        let shared = Budget::new().with_steps(100).share();
+        let mut a = shared.worker_meter();
+        let mut b = shared.worker_meter();
+        for _ in 0..50 {
+            a.charge(1).expect("pool has room");
+        }
+        for _ in 0..50 {
+            b.charge(1).expect("pool has room");
+        }
+        // The pool of 100 is drained even though each worker only
+        // charged 50 locally.
+        assert_eq!(
+            b.charge(1),
+            Err(Interrupt::Exhausted(ExhaustionReason::Steps))
+        );
+        assert_eq!(
+            shared.interrupted(),
+            Some(Interrupt::Exhausted(ExhaustionReason::Steps))
+        );
+        assert_eq!(shared.spend().steps, 101);
+    }
+
+    #[test]
+    fn shared_trip_propagates_to_sibling_meters() {
+        let shared = Budget::new().with_steps(10).share();
+        let mut a = shared.worker_meter();
+        let mut b = shared.worker_meter();
+        b.charge(1).expect("fresh");
+        assert!(a.charge(100).is_err());
+        // Sibling b finds out at its next charge, even charge(0).
+        assert_eq!(
+            b.charge(0),
+            Err(Interrupt::Exhausted(ExhaustionReason::Steps))
+        );
+    }
+
+    #[test]
+    fn shared_budget_pools_memory() {
+        let shared = Budget::new().with_memory(100).share();
+        let mut a = shared.worker_meter();
+        let mut b = shared.worker_meter();
+        a.charge_memory(60).expect("fits");
+        assert_eq!(
+            b.charge_memory(60),
+            Err(Interrupt::Exhausted(ExhaustionReason::Memory))
+        );
+        assert!(shared.spend().peak_memory >= 100);
+    }
+
+    #[test]
+    fn one_shot_fault_fires_in_exactly_one_clone() {
+        let plan = FaultPlan::fail_once_at_step(5);
+        let shared = Budget::new().with_fault(plan.clone()).share();
+        let mut a = shared.worker_meter();
+        // Global steps pass 5: the shared fault fires once.
+        let mut fired = 0;
+        for _ in 0..10 {
+            if a.charge(1).is_err() {
+                fired += 1;
+                break;
+            }
+        }
+        assert_eq!(fired, 1);
+        assert!(plan.fired());
+        // A second meter cloned from the same plan never fires again.
+        let budget = Budget::new().with_fault(plan.clone());
+        let mut c = budget.meter();
+        for _ in 0..100 {
+            c.charge(1).expect("one-shot fault is spent");
+        }
+    }
+
+    #[test]
+    fn cache_counters_flow_into_spend() {
+        let budget = Budget::unlimited();
+        let mut meter = budget.meter();
+        meter.note_cache_hit();
+        meter.note_cache_hit();
+        meter.note_cache_miss();
+        let spend = meter.spend();
+        assert_eq!(spend.cache_hits, 2);
+        assert_eq!(spend.cache_misses, 1);
+        let mut total = Spend::default();
+        total.absorb(&spend);
+        total.absorb(&spend);
+        assert_eq!(total.cache_hits, 4);
+        let shown = format!("{spend}");
+        assert!(shown.contains("cache"), "display shows cache: {shown}");
+    }
 
     #[test]
     fn unlimited_budget_never_trips() {

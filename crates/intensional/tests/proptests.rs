@@ -330,10 +330,10 @@ proptest! {
             .expect("one free var");
         let dq = Description::new("the q", "x", Formula::Pred(q, vec![TermRef::var("x")]))
             .expect("one free var");
-        for actual in 0..worlds.len() {
+        for (actual, mask) in masks.iter().enumerate() {
             let r = compare_descriptions(&dom, &worlds, actual, &dp, &dq).expect("valid");
             prop_assert!(r.same_signification);
-            if masks[actual].count_ones() == 1 {
+            if mask.count_ones() == 1 {
                 prop_assert!(r.co_designate);
             }
         }

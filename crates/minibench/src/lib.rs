@@ -19,7 +19,23 @@ use std::time::{Duration, Instant};
 /// Top-level harness handle, constructed by [`criterion_main!`].
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    records: Vec<Record>,
+}
+
+/// One measured benchmark: the mean per-iteration wall time over the
+/// whole measurement window. Collected so `harness = false` benches
+/// can post-process results (compute speedups, emit JSON reports)
+/// instead of scraping stdout.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// The enclosing benchmark group's name.
+    pub group: String,
+    /// The benchmark's label within the group.
+    pub label: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: u128,
+    /// Number of iterations timed.
+    pub iters: u64,
 }
 
 impl Criterion {
@@ -27,10 +43,44 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\ngroup: {name}");
         BenchmarkGroup {
-            _parent: self,
+            group: name.to_string(),
+            parent: self,
             sample_size: 20,
         }
     }
+
+    /// All results measured so far, in execution order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// The mean ns/iter of the record matching `group` and `label`.
+    pub fn ns_per_iter(&self, group: &str, label: &str) -> Option<u128> {
+        self.records
+            .iter()
+            .find(|r| r.group == group && r.label == label)
+            .map(|r| r.ns_per_iter)
+    }
+}
+
+/// Escape a string for inclusion in a JSON document — the helper that
+/// lets dependency-free benches emit valid report files.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A named parameterized benchmark id, printed as `name/param`.
@@ -62,7 +112,8 @@ impl fmt::Display for BenchmarkId {
 
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    group: String,
+    parent: &'a mut Criterion,
     sample_size: usize,
 }
 
@@ -113,6 +164,12 @@ impl BenchmarkGroup<'_> {
         } else {
             let per = b.total.as_nanos() / b.iters as u128;
             println!("  {label:<48} {:>12} ns/iter ({} iters)", per, b.iters);
+            self.parent.records.push(Record {
+                group: self.group.clone(),
+                label: label.to_string(),
+                ns_per_iter: per,
+                iters: b.iters,
+            });
         }
     }
 }

@@ -74,33 +74,117 @@ pub fn signatures_isomorphic_metered(
     if !assign(left, right, &lcs, &rcs, &mut assignment, &mut used, 0, meter)? {
         return Ok(None);
     }
+    Ok(mapping_from_assignment(left, right, &lcs, &rcs, &assignment))
+}
+
+/// Turn a complete class assignment into the full witnessing mapping,
+/// pairing attribute names positionally within each (class, target)
+/// bucket. `None` when the attribute structure refuses to line up.
+fn mapping_from_assignment(
+    left: &OntologySignature,
+    right: &OntologySignature,
+    lcs: &[ClassId],
+    rcs: &[ClassId],
+    assignment: &[Option<usize>],
+) -> Option<SignatureMapping> {
     let classes: BTreeMap<ClassId, ClassId> = assignment
         .iter()
         .enumerate()
         .map(|(i, j)| (lcs[i], rcs[j.expect("complete")]))
         .collect();
-    // Attribute renaming: pair attribute names positionally within
-    // each (class, target) bucket.
     let mut attributes = BTreeMap::new();
     for (&lc, &rc) in &classes {
         for (lt, lname) in left.attrs_of_class(lc) {
             let rt = map_target(lt, &classes);
             let rattrs: Vec<String> = right.attrs(rc, rt).into_iter().collect();
             let lattrs: Vec<String> = left.attrs(lc, lt).into_iter().collect();
-            let pos = match lattrs.iter().position(|a| *a == lname) {
-                Some(p) => p,
-                None => return Ok(None),
-            };
-            match rattrs.get(pos) {
-                Some(r) => attributes.insert(lname, r.clone()),
-                None => return Ok(None),
-            };
+            let pos = lattrs.iter().position(|a| *a == lname)?;
+            attributes.insert(lname, rattrs.get(pos)?.clone());
         }
     }
-    Ok(Some(SignatureMapping {
+    Some(SignatureMapping {
         classes,
         attributes,
-    }))
+    })
+}
+
+/// Parallel, budget-governed signature-isomorphism search: candidate
+/// images of the *first* class are split across `threads` workers,
+/// each running the usual backtracking with its candidate pinned,
+/// under one shared envelope. Deterministic: the reported witness is
+/// the one from the lowest-numbered successful candidate — the branch
+/// the sequential search would succeed on first.
+pub fn signatures_isomorphic_parallel_governed(
+    left: &OntologySignature,
+    right: &OntologySignature,
+    budget: &Budget,
+    threads: usize,
+) -> Governed<Option<SignatureMapping>> {
+    let lcs: Vec<ClassId> = left.class_ids().collect();
+    let rcs: Vec<ClassId> = right.class_ids().collect();
+    if lcs.len() != rcs.len() {
+        return Governed::Completed(None);
+    }
+    let lposet = left.data_domain().theory().signature().poset();
+    let rposet = right.data_domain().theory().signature().poset();
+    if lposet.len() != rposet.len() {
+        return Governed::Completed(None);
+    }
+    if lcs.is_empty() {
+        return Governed::Completed(mapping_from_assignment(left, right, &lcs, &rcs, &[]));
+    }
+    let candidates: Vec<usize> = (0..rcs.len()).collect();
+    let (lcs_ref, rcs_ref) = (&lcs, &rcs);
+    // Per-candidate verdicts: `None` = no class bijection in this
+    // subtree; `Some(opt)` = a bijection was found and `opt` is the
+    // attribute-pairing outcome. Keeping the two cases apart is what
+    // makes the parallel answer *identical* to the sequential one —
+    // the sequential search commits to the first bijection found even
+    // when its attribute pairing fails.
+    let outcome = summa_exec::par_map(
+        &candidates,
+        budget,
+        threads,
+        |meter, _, &cand| -> Result<Option<Option<SignatureMapping>>, Interrupt> {
+            meter.charge(1)?;
+            // Same pruning the sequential loop applies at position 0.
+            if left.attrs_of_class(lcs_ref[0]).len() != right.attrs_of_class(rcs_ref[cand]).len() {
+                return Ok(None);
+            }
+            let mut assignment: Vec<Option<usize>> = vec![None; lcs_ref.len()];
+            let mut used = vec![false; rcs_ref.len()];
+            assignment[0] = Some(cand);
+            used[cand] = true;
+            if assign(
+                left, right, lcs_ref, rcs_ref, &mut assignment, &mut used, 1, meter,
+            )? {
+                Ok(Some(mapping_from_assignment(
+                    left, right, lcs_ref, rcs_ref, &assignment,
+                )))
+            } else {
+                Ok(None)
+            }
+        },
+    );
+    let interrupted = outcome.interrupted;
+    for slot in outcome.results {
+        match slot {
+            // First subtree (in sequential trial order) holding a
+            // bijection decides the answer, as in the sequential DFS.
+            Some(Some(verdict)) => return Governed::Completed(verdict),
+            Some(None) => continue,
+            // Undecided cell before any decision: the question itself
+            // is undecided.
+            None => {
+                let i = interrupted.unwrap_or(Interrupt::Cancelled);
+                return Governed::from_interrupt(i, None);
+            }
+        }
+    }
+    match interrupted {
+        None => Governed::Completed(None),
+        Some(i) => Governed::from_interrupt(i, None),
+    }
 }
 
 fn map_target(t: AttrTarget, classes: &BTreeMap<ClassId, ClassId>) -> AttrTarget {

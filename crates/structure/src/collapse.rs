@@ -208,6 +208,51 @@ pub fn find_isomorphic_pairs_metered(
     Ok(())
 }
 
+/// Parallel, budget-governed all-pairs collapse sweep: the
+/// `|atoms(t1)| × |atoms(t2)|` pair grid is distributed across
+/// `threads` workers under one shared envelope. Cell results are
+/// assembled in pair-index order, so the completed report is
+/// **identical** to the sequential [`find_isomorphic_pairs_governed`];
+/// a partial report lists only collapses from *decided* cells — every
+/// entry a genuine witness, a subset of the full sweep.
+pub fn find_isomorphic_pairs_parallel_governed(
+    t1: &TBox,
+    t2: &TBox,
+    voc: &Vocabulary,
+    depth: usize,
+    budget: &Budget,
+    threads: usize,
+) -> Governed<Vec<CollapseReport>> {
+    let pairs: Vec<(ConceptId, ConceptId)> = t1
+        .atoms()
+        .into_iter()
+        .flat_map(|c1| t2.atoms().into_iter().map(move |c2| (c1, c2)))
+        .collect();
+    let outcome = summa_exec::par_map(
+        &pairs,
+        budget,
+        threads,
+        |meter, _, &(c1, c2)| {
+            structurally_indistinguishable_metered(t1, c1, t2, c2, voc, depth, meter)
+        },
+    );
+    outcome.into_governed(|slots| {
+        let mut out = vec![];
+        for (&(c1, c2), slot) in pairs.iter().zip(slots) {
+            if let Some(Some(mapping)) = slot {
+                out.push(CollapseReport {
+                    left: c1,
+                    right: c2,
+                    left_name: voc.concept_name(c1).to_string(),
+                    right_name: voc.concept_name(c2).to_string(),
+                    mapping,
+                });
+            }
+        }
+        Some(out)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

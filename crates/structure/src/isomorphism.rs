@@ -48,19 +48,8 @@ pub fn find_isomorphism_metered(
     let n = g1.n_nodes();
     // Degree signatures for pruning: (label, out-degree, in-degree,
     // multiset of incident edge kinds).
-    let sig = |g: &DefGraph, i: usize| {
-        let mut out_kinds: Vec<&EdgeKind> = g.out_edges(i).map(|(_, _, k)| k).collect();
-        let mut in_kinds: Vec<&EdgeKind> = g.in_edges(i).map(|(_, _, k)| k).collect();
-        out_kinds.sort();
-        in_kinds.sort();
-        (
-            g.node_label(i).to_string(),
-            out_kinds.into_iter().cloned().collect::<Vec<_>>(),
-            in_kinds.into_iter().cloned().collect::<Vec<_>>(),
-        )
-    };
-    let sig1: Vec<_> = (0..n).map(|i| sig(g1, i)).collect();
-    let sig2: Vec<_> = (0..n).map(|i| sig(g2, i)).collect();
+    let sig1 = node_signatures(g1);
+    let sig2 = node_signatures(g2);
     // The multisets of signatures must agree.
     {
         let mut a = sig1.clone();
@@ -75,81 +64,188 @@ pub fn find_isomorphism_metered(
     let mut mapping: Vec<Option<usize>> = vec![None; n];
     let mut used: Vec<bool> = vec![false; n];
 
-    fn consistent(g1: &DefGraph, g2: &DefGraph, mapping: &[Option<usize>]) -> bool {
-        // Every g1 edge between mapped nodes must exist in g2 with the
-        // same kind, and vice versa (counting multiplicity by exact
-        // match of the (from,to,kind) triple).
-        for (f, t, k) in g1.edges() {
-            if let (Some(mf), Some(mt)) = (mapping[*f], mapping[*t]) {
-                if !g2
-                    .edges()
-                    .iter()
-                    .any(|(f2, t2, k2)| *f2 == mf && *t2 == mt && k2 == k)
-                {
-                    return false;
-                }
-            }
-        }
-        for (f2, t2, k2) in g2.edges() {
-            let pf = mapping.iter().position(|&m| m == Some(*f2));
-            let pt = mapping.iter().position(|&m| m == Some(*t2));
-            if let (Some(pf), Some(pt)) = (pf, pt) {
-                if !g1
-                    .edges()
-                    .iter()
-                    .any(|(f, t, k)| *f == pf && *t == pt && k == k2)
-                {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn backtrack(
-        g1: &DefGraph,
-        g2: &DefGraph,
-        sig1: &[(String, Vec<EdgeKind>, Vec<EdgeKind>)],
-        sig2: &[(String, Vec<EdgeKind>, Vec<EdgeKind>)],
-        mapping: &mut Vec<Option<usize>>,
-        used: &mut Vec<bool>,
-        next: usize,
-        meter: &mut Meter,
-    ) -> Result<bool, Interrupt> {
-        if next == mapping.len() {
-            return Ok(true);
-        }
-        for cand in 0..mapping.len() {
-            if used[cand] || sig1[next] != sig2[cand] {
-                continue;
-            }
-            // One step per candidate assignment tried: the unit of
-            // work for the search tree.
-            meter.charge(1)?;
-            mapping[next] = Some(cand);
-            used[cand] = true;
-            if consistent(g1, g2, mapping)
-                && backtrack(g1, g2, sig1, sig2, mapping, used, next + 1, meter)?
-            {
-                return Ok(true);
-            }
-            mapping[next] = None;
-            used[cand] = false;
-        }
-        Ok(false)
-    }
-
     if backtrack(g1, g2, &sig1, &sig2, &mut mapping, &mut used, 0, meter)? {
-        Ok(Some(
-            mapping
-                .into_iter()
-                .enumerate()
-                .map(|(i, m)| (i, m.expect("complete mapping")))
-                .collect(),
-        ))
+        Ok(Some(complete_mapping(mapping)))
     } else {
         Ok(None)
+    }
+}
+
+/// Node signature for pruning: (label, sorted out-edge kinds, sorted
+/// in-edge kinds).
+type NodeSig = (String, Vec<EdgeKind>, Vec<EdgeKind>);
+
+fn node_signatures(g: &DefGraph) -> Vec<NodeSig> {
+    (0..g.n_nodes())
+        .map(|i| {
+            let mut out_kinds: Vec<&EdgeKind> = g.out_edges(i).map(|(_, _, k)| k).collect();
+            let mut in_kinds: Vec<&EdgeKind> = g.in_edges(i).map(|(_, _, k)| k).collect();
+            out_kinds.sort();
+            in_kinds.sort();
+            (
+                g.node_label(i).to_string(),
+                out_kinds.into_iter().cloned().collect::<Vec<_>>(),
+                in_kinds.into_iter().cloned().collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+fn complete_mapping(mapping: Vec<Option<usize>>) -> Mapping {
+    mapping
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| (i, m.expect("complete mapping")))
+        .collect()
+}
+
+fn consistent(g1: &DefGraph, g2: &DefGraph, mapping: &[Option<usize>]) -> bool {
+    // Every g1 edge between mapped nodes must exist in g2 with the
+    // same kind, and vice versa (counting multiplicity by exact
+    // match of the (from,to,kind) triple).
+    for (f, t, k) in g1.edges() {
+        if let (Some(mf), Some(mt)) = (mapping[*f], mapping[*t]) {
+            if !g2
+                .edges()
+                .iter()
+                .any(|(f2, t2, k2)| *f2 == mf && *t2 == mt && k2 == k)
+            {
+                return false;
+            }
+        }
+    }
+    for (f2, t2, k2) in g2.edges() {
+        let pf = mapping.iter().position(|&m| m == Some(*f2));
+        let pt = mapping.iter().position(|&m| m == Some(*t2));
+        if let (Some(pf), Some(pt)) = (pf, pt) {
+            if !g1
+                .edges()
+                .iter()
+                .any(|(f, t, k)| *f == pf && *t == pt && k == k2)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    g1: &DefGraph,
+    g2: &DefGraph,
+    sig1: &[NodeSig],
+    sig2: &[NodeSig],
+    mapping: &mut Vec<Option<usize>>,
+    used: &mut Vec<bool>,
+    next: usize,
+    meter: &mut Meter,
+) -> Result<bool, Interrupt> {
+    if next == mapping.len() {
+        return Ok(true);
+    }
+    for cand in 0..mapping.len() {
+        if used[cand] || sig1[next] != sig2[cand] {
+            continue;
+        }
+        // One step per candidate assignment tried: the unit of
+        // work for the search tree.
+        meter.charge(1)?;
+        mapping[next] = Some(cand);
+        used[cand] = true;
+        if consistent(g1, g2, mapping)
+            && backtrack(g1, g2, sig1, sig2, mapping, used, next + 1, meter)?
+        {
+            return Ok(true);
+        }
+        mapping[next] = None;
+        used[cand] = false;
+    }
+    Ok(false)
+}
+
+/// Parallel, budget-governed isomorphism search: the candidate images
+/// of node 0 are split across `threads` workers, each running the
+/// usual backtracking with its candidate pinned under one shared
+/// envelope.
+///
+/// The result is deterministic and matches the sequential search: the
+/// witness reported is the one from the *lowest-numbered* successful
+/// candidate — exactly the branch sequential DFS would have succeeded
+/// on first — regardless of which worker finished first. On interrupt
+/// the answer is `None` (*undecided*) unless a witness at a fully
+/// decided prefix of the candidate order had already been found.
+pub fn find_isomorphism_parallel_governed(
+    g1: &DefGraph,
+    g2: &DefGraph,
+    budget: &Budget,
+    threads: usize,
+) -> Governed<Option<Mapping>> {
+    if g1.n_nodes() != g2.n_nodes() || g1.n_edges() != g2.n_edges() {
+        return Governed::Completed(None);
+    }
+    let n = g1.n_nodes();
+    if n == 0 {
+        return Governed::Completed(Some(Mapping::new()));
+    }
+    let sig1 = node_signatures(g1);
+    let sig2 = node_signatures(g2);
+    {
+        let mut a = sig1.clone();
+        let mut b = sig2.clone();
+        a.sort();
+        b.sort();
+        if a != b {
+            return Governed::Completed(None);
+        }
+    }
+    // Candidate images for node 0, in sequential trial order.
+    let candidates: Vec<usize> = (0..n).filter(|&c| sig1[0] == sig2[c]).collect();
+    let sig1_ref = &sig1;
+    let sig2_ref = &sig2;
+    let outcome = summa_exec::par_map(
+        &candidates,
+        budget,
+        threads,
+        |meter, _, &cand| -> Result<Option<Mapping>, Interrupt> {
+            meter.charge(1)?;
+            let mut mapping: Vec<Option<usize>> = vec![None; n];
+            let mut used: Vec<bool> = vec![false; n];
+            mapping[0] = Some(cand);
+            used[cand] = true;
+            if consistent(g1, g2, &mapping)
+                && backtrack(g1, g2, sig1_ref, sig2_ref, &mut mapping, &mut used, 1, meter)?
+            {
+                Ok(Some(complete_mapping(mapping)))
+            } else {
+                Ok(None)
+            }
+        },
+    );
+    assemble_first_witness(outcome)
+}
+
+/// Deterministic assembly for candidate-split searches: scan decided
+/// slots in candidate order; the first witness wins (matching the
+/// sequential DFS), an undecided slot before any witness means the
+/// whole question is undecided.
+pub(crate) fn assemble_first_witness<M>(
+    outcome: summa_exec::ParOutcome<Option<M>>,
+) -> Governed<Option<M>> {
+    let interrupted = outcome.interrupted;
+    for slot in outcome.results {
+        match slot {
+            Some(Some(m)) => return Governed::Completed(Some(m)),
+            Some(None) => continue,
+            None => {
+                let i = interrupted.unwrap_or(Interrupt::Cancelled);
+                return Governed::from_interrupt(i, None);
+            }
+        }
+    }
+    match interrupted {
+        None => Governed::Completed(None),
+        Some(i) => Governed::from_interrupt(i, None),
     }
 }
 

@@ -66,7 +66,8 @@ pub mod isomorphism;
 pub mod prelude {
     pub use crate::collapse::{
         find_isomorphic_pairs, find_isomorphic_pairs_governed,
-        find_isomorphic_pairs_metered, structurally_indistinguishable,
+        find_isomorphic_pairs_metered, find_isomorphic_pairs_parallel_governed,
+        structurally_indistinguishable,
         structurally_indistinguishable_governed, structurally_indistinguishable_metered,
         CollapseReport,
     };
@@ -75,6 +76,7 @@ pub mod prelude {
     };
     pub use crate::graph::{DefGraph, EdgeKind, LabelMode};
     pub use crate::isomorphism::{
-        find_isomorphism, find_isomorphism_governed, find_isomorphism_metered, Mapping,
+        find_isomorphism, find_isomorphism_governed, find_isomorphism_metered,
+        find_isomorphism_parallel_governed, Mapping,
     };
 }

@@ -37,14 +37,14 @@ fn pigeonhole(holes: usize) -> (Vocabulary, TBox, Concept) {
             Concept::or(row.iter().map(|&c| Concept::atom(c)).collect()),
         );
     }
-    for j in 0..holes {
-        for i in 0..pigeons {
-            for k in (i + 1)..pigeons {
+    for i in 0..pigeons {
+        for k in (i + 1)..pigeons {
+            for (&a, &b) in p[i].iter().zip(&p[k]) {
                 t.subsume(
                     Concept::Top,
                     Concept::or(vec![
-                        Concept::not(Concept::atom(p[i][j])),
-                        Concept::not(Concept::atom(p[k][j])),
+                        Concept::not(Concept::atom(a)),
+                        Concept::not(Concept::atom(b)),
                     ]),
                 );
             }

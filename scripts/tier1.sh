@@ -7,8 +7,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# The parallel executor must be answer-identical at every thread count,
+# so the suite runs twice: pinned sequential, then 4-way parallel.
+echo "==> SUMMA_THREADS=1 cargo test -q"
+SUMMA_THREADS=1 cargo test -q
+
+echo "==> SUMMA_THREADS=4 cargo test -q"
+SUMMA_THREADS=4 cargo test -q
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace -- -D warnings"

@@ -1,0 +1,393 @@
+//! Differential tests for the parallel executor: every parallel
+//! governed service must produce *identical* completed results to its
+//! sequential counterpart, partial results must be subsets of the
+//! sequential guarantees, reports must be byte-identical at any thread
+//! count, and a fault injected into one worker must degrade the whole
+//! grid to a clean governed partial.
+
+use proptest::prelude::*;
+use summa_core::critique::{syntactic_critique_governed, syntactic_critique_parallel_governed};
+use summa_core::definitions::Verdict;
+use summa_core::report::AdmissionMatrix;
+use summa_dl::classify::{classify_parallel_governed, Classifier};
+use summa_dl::generate;
+use summa_dl::prelude::{realize_governed, realize_parallel_governed};
+use summa_dl::abox::ABox;
+use summa_dl::concept::Concept;
+use summa_dl::tableau::Tableau;
+use summa_guard::{Budget, ExhaustionReason, FaultPlan, Governed};
+use summa_ontonomy::corpus::{animals_signature, vehicles_signature};
+use summa_ontonomy::prelude::{
+    signatures_isomorphic_governed, signatures_isomorphic_parallel_governed,
+};
+use summa_structure::prelude::{
+    find_isomorphic_pairs_governed, find_isomorphic_pairs_parallel_governed,
+    find_isomorphism_governed, find_isomorphism_parallel_governed, DefGraph, LabelMode,
+};
+
+/// A step cap far above what the small random terminologies need, so
+/// pathological seeds degrade to a governed exhaustion instead of
+/// dominating the suite's wall clock.
+const STEP_CAP: u64 = 500_000;
+
+fn capped() -> Budget {
+    Budget::new().with_steps(STEP_CAP)
+}
+
+/// The judgments of an admission matrix without their (timing-bearing,
+/// run-dependent) spends.
+fn verdicts(m: &AdmissionMatrix) -> Vec<(String, Vec<(Verdict, String)>)> {
+    m.artifacts
+        .iter()
+        .zip(&m.cells)
+        .map(|(a, row)| {
+            (
+                a.clone(),
+                row.iter()
+                    .map(|j| (j.verdict, j.reason.clone()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Determinism: identical reports at every thread count
+// ---------------------------------------------------------------------
+
+/// Classification rendered at eight different thread counts must be
+/// byte-identical — scheduling must never leak into results.
+#[test]
+fn classification_report_is_byte_identical_across_thread_counts() {
+    for (voc, tbox) in [
+        {
+            let (voc, tbox, _) = generate::pigeonhole_tbox(2, 2);
+            (voc, tbox)
+        },
+        {
+            let (voc, tbox, _) = generate::random_el(12, 2, 16, 0xD57E_4313);
+            (voc, tbox)
+        },
+    ] {
+        let sequential = Tableau::new(&tbox, &voc)
+            .classify_governed(&tbox, &voc, &Budget::unlimited())
+            .expect_completed("unlimited")
+            .render(&voc);
+        for threads in [1usize, 2, 3, 4, 6, 8, 2, 4] {
+            let report = classify_parallel_governed(&tbox, &voc, &Budget::unlimited(), threads)
+                .expect_completed("unlimited")
+                .render(&voc);
+            assert_eq!(
+                sequential.as_bytes(),
+                report.as_bytes(),
+                "thread count {threads} changed the report"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection across workers
+// ---------------------------------------------------------------------
+
+/// A one-shot fault plan shared by four workers fires in exactly one
+/// of them, and the whole grid degrades to a clean `Exhausted` partial
+/// whose rows are still exact.
+#[test]
+fn one_shot_fault_in_one_worker_degrades_cleanly() {
+    let (voc, tbox, _) = generate::random_el(12, 2, 16, 0xFA17);
+    let truth = Tableau::new(&tbox, &voc)
+        .classify_governed(&tbox, &voc, &Budget::unlimited())
+        .expect_completed("unlimited");
+    let plan = FaultPlan::fail_once_at_step(40);
+    let budget = Budget::new().with_fault(plan.clone());
+    match classify_parallel_governed(&tbox, &voc, &budget, 4) {
+        Governed::Exhausted {
+            reason: ExhaustionReason::FaultInjected,
+            partial: Some(partial),
+        } => {
+            assert!(plan.fired(), "the shared one-shot trigger must fire");
+            for c in partial.concepts() {
+                assert_eq!(
+                    partial.subsumers_of(c),
+                    truth.subsumers_of(c),
+                    "a decided row in the faulted partial must be exact"
+                );
+            }
+        }
+        other => panic!("expected a governed fault, got {}", other.status()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corpus services: admission matrix, collapse sweep, signatures
+// ---------------------------------------------------------------------
+
+/// §2 admission matrix: parallel equals sequential cell for cell.
+#[test]
+fn parallel_admission_matrix_equals_sequential() {
+    let seq = syntactic_critique_governed(&Budget::unlimited()).expect_completed("unlimited");
+    for threads in [2usize, 4] {
+        let par = syntactic_critique_parallel_governed(&Budget::unlimited(), threads)
+            .expect_completed("unlimited");
+        assert_eq!(seq.definitions, par.definitions);
+        assert_eq!(verdicts(&seq), verdicts(&par));
+    }
+}
+
+/// A starved parallel admission matrix only contains rows identical to
+/// the sequential truth — never half-judged or fabricated ones.
+#[test]
+fn starved_parallel_admission_matrix_rows_are_exact() {
+    let truth = syntactic_critique_governed(&Budget::unlimited()).expect_completed("unlimited");
+    let truth_rows = verdicts(&truth);
+    for steps in [1u64, 7, 13, 23] {
+        let g = syntactic_critique_parallel_governed(&Budget::new().with_steps(steps), 4);
+        let partial = match g {
+            Governed::Exhausted { partial, .. } => partial.expect("partial matrix"),
+            Governed::Completed(_) => panic!("a {steps}-step budget cannot finish the matrix"),
+            Governed::Cancelled { .. } => panic!("nothing cancels this run"),
+        };
+        assert_eq!(partial.definitions, truth.definitions);
+        for row in verdicts(&partial) {
+            assert!(
+                truth_rows.contains(&row),
+                "partial row for {} must match the sequential truth",
+                row.0
+            );
+        }
+    }
+}
+
+/// The all-pairs collapse sweep: parallel equals sequential on the
+/// paper corpus, and a starved partial only lists genuine witnesses.
+#[test]
+fn parallel_collapse_sweep_matches_sequential() {
+    use summa_dl::corpus::{animals_tbox, vehicles_tbox, PaperVocab};
+    let p = PaperVocab::new();
+    let vehicles = vehicles_tbox(&p);
+    let animals = animals_tbox(&p);
+    let seq = find_isomorphic_pairs_governed(&vehicles, &animals, &p.voc, 8, &Budget::unlimited())
+        .expect_completed("unlimited");
+    assert!(!seq.is_empty(), "the corpus collapse must be rediscovered");
+    for threads in [2usize, 4] {
+        let par = find_isomorphic_pairs_parallel_governed(
+            &vehicles,
+            &animals,
+            &p.voc,
+            8,
+            &Budget::unlimited(),
+            threads,
+        )
+        .expect_completed("unlimited");
+        assert_eq!(seq, par);
+    }
+    for steps in [1u64, 50, 500] {
+        match find_isomorphic_pairs_parallel_governed(
+            &vehicles,
+            &animals,
+            &p.voc,
+            8,
+            &Budget::new().with_steps(steps),
+            4,
+        ) {
+            Governed::Completed(pairs) => assert_eq!(seq, pairs),
+            Governed::Exhausted { partial, .. } => {
+                for pair in partial.expect("partial witness list") {
+                    assert!(
+                        seq.contains(&pair),
+                        "every partial entry must be a genuine collapse"
+                    );
+                }
+            }
+            Governed::Cancelled { .. } => panic!("nothing cancels this run"),
+        }
+    }
+}
+
+/// Graph isomorphism: the candidate-split parallel search returns the
+/// same witness as the sequential DFS on the paper corpus.
+#[test]
+fn parallel_graph_isomorphism_matches_sequential() {
+    use summa_dl::corpus::{animals_tbox, vehicles_tbox, PaperVocab};
+    let p = PaperVocab::new();
+    let g1 = DefGraph::from_tbox(&vehicles_tbox(&p), &p.voc, LabelMode::Anonymous);
+    let g2 = DefGraph::from_tbox(&animals_tbox(&p), &p.voc, LabelMode::Anonymous);
+    let seq = find_isomorphism_governed(&g1, &g2, &Budget::unlimited())
+        .expect_completed("unlimited");
+    assert!(seq.is_some(), "the corpus graphs are isomorphic");
+    for threads in [1usize, 2, 4] {
+        let par = find_isomorphism_parallel_governed(&g1, &g2, &Budget::unlimited(), threads)
+            .expect_completed("unlimited");
+        assert_eq!(seq, par, "witness must match at {threads} threads");
+    }
+    // Starved searches stay undecided rather than guessing.
+    let starved =
+        find_isomorphism_parallel_governed(&g1, &g2, &Budget::new().with_steps(1), 4);
+    assert!(matches!(
+        starved,
+        Governed::Exhausted { partial: None, .. }
+    ));
+}
+
+/// Ontology-signature isomorphism (Bench-Capon & Malcolm encoding):
+/// parallel agrees with sequential on both the collapsing corpus and
+/// the repaired, non-collapsing one.
+#[test]
+fn parallel_signature_isomorphism_matches_sequential() {
+    let v = vehicles_signature().expect("well-formed");
+    let a = animals_signature().expect("well-formed");
+    let seq = signatures_isomorphic_governed(
+        &v.ontonomy.signature,
+        &a.ontonomy.signature,
+        &Budget::unlimited(),
+    )
+    .expect_completed("unlimited");
+    assert!(seq.is_some());
+    for threads in [1usize, 2, 4] {
+        let par = signatures_isomorphic_parallel_governed(
+            &v.ontonomy.signature,
+            &a.ontonomy.signature,
+            &Budget::unlimited(),
+            threads,
+        )
+        .expect_completed("unlimited");
+        assert_eq!(seq, par);
+    }
+    let repaired = summa_ontonomy::corpus::animals_signature_repaired().expect("well-formed");
+    let seq_none = signatures_isomorphic_governed(
+        &v.ontonomy.signature,
+        &repaired.ontonomy.signature,
+        &Budget::unlimited(),
+    )
+    .expect_completed("unlimited");
+    assert!(seq_none.is_none());
+    let par_none = signatures_isomorphic_parallel_governed(
+        &v.ontonomy.signature,
+        &repaired.ontonomy.signature,
+        &Budget::unlimited(),
+        4,
+    )
+    .expect_completed("unlimited");
+    assert!(par_none.is_none());
+}
+
+// ---------------------------------------------------------------------
+// Property tests over random terminologies
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel classification of a random terminology is identical to
+    /// sequential classification, at any thread count.
+    #[test]
+    fn parallel_classify_equals_sequential(seed in 0u64..1_000_000, threads in 2usize..6) {
+        let (voc, tbox, _) = generate::random_el(10, 2, 14, seed);
+        let seq = Tableau::new(&tbox, &voc).classify_governed(&tbox, &voc, &capped());
+        match seq {
+            Governed::Completed(seq) => {
+                let par = classify_parallel_governed(&tbox, &voc, &capped(), threads);
+                // Parallel never needs more pooled steps than the
+                // sequential run (the shared cache can only save work).
+                let par = par.expect_completed("within the sequential step cap");
+                prop_assert_eq!(seq, par);
+            }
+            // A pathological seed: both sides must still return
+            // governed outcomes; nothing further to compare.
+            _ => {
+                let par = classify_parallel_governed(&tbox, &voc, &capped(), threads);
+                prop_assert!(!matches!(par, Governed::Cancelled { .. }));
+            }
+        }
+    }
+
+    /// Any starved parallel classification yields a partial whose rows
+    /// are exactly the sequential truth — a subset of guarantees,
+    /// never an approximation.
+    #[test]
+    fn starved_parallel_classify_rows_are_exact(
+        seed in 0u64..1_000_000,
+        steps in 1u64..2_000,
+        threads in 2usize..6,
+    ) {
+        let (voc, tbox, _) = generate::random_el(8, 2, 10, seed);
+        let truth = Tableau::new(&tbox, &voc).classify_governed(&tbox, &voc, &capped());
+        prop_assume!(matches!(truth, Governed::Completed(_)));
+        let truth = truth.expect_completed("assumed");
+        match classify_parallel_governed(&tbox, &voc, &Budget::new().with_steps(steps), threads) {
+            Governed::Completed(h) => prop_assert_eq!(truth, h),
+            Governed::Exhausted { partial, .. } => {
+                let partial = partial.expect("classification always carries a partial");
+                for c in partial.concepts() {
+                    prop_assert_eq!(partial.subsumers_of(c), truth.subsumers_of(c));
+                }
+            }
+            Governed::Cancelled { .. } => prop_assert!(false, "nothing cancels this run"),
+        }
+    }
+
+    /// Parallel realization of a random ABox equals the sequential
+    /// one, and starved partials only carry fully realized
+    /// individuals with exact type sets.
+    #[test]
+    fn parallel_realize_equals_sequential(
+        seed in 0u64..1_000_000,
+        steps in 1u64..2_000,
+        threads in 2usize..6,
+    ) {
+        let (voc, tbox, atoms) = generate::random_el(8, 2, 10, seed);
+        let mut rng = generate::SplitMix64::new(seed ^ 0xAB0C);
+        let mut abox = ABox::new();
+        for i in 0..5 {
+            let ind = abox.individual(&format!("i{i}"));
+            abox.assert_concept(ind, Concept::atom(atoms[rng.below(atoms.len())]));
+            if rng.chance(1, 2) {
+                abox.assert_concept(ind, Concept::atom(atoms[rng.below(atoms.len())]));
+            }
+        }
+        let seq = realize_governed(&tbox, &abox, &voc, &capped());
+        prop_assume!(matches!(seq, Governed::Completed(_)));
+        let seq = seq.expect_completed("assumed");
+        let par = realize_parallel_governed(&tbox, &abox, &voc, &capped(), threads)
+            .expect_completed("within the sequential step cap");
+        prop_assert_eq!(&seq, &par);
+        match realize_parallel_governed(&tbox, &abox, &voc, &Budget::new().with_steps(steps), threads) {
+            Governed::Completed(r) => prop_assert_eq!(&seq, &r),
+            Governed::Exhausted { partial, .. } => {
+                let partial = partial.expect("realization always carries a partial");
+                for ind in abox.individuals() {
+                    let types = partial.types_of(ind);
+                    if !types.is_empty() {
+                        prop_assert_eq!(types, seq.types_of(ind));
+                        prop_assert_eq!(partial.most_specific_of(ind), seq.most_specific_of(ind));
+                    }
+                }
+            }
+            Governed::Cancelled { .. } => prop_assert!(false, "nothing cancels this run"),
+        }
+    }
+
+    /// The collapse sweep over two *random* terminologies: parallel
+    /// equals sequential, including the order of reported pairs.
+    #[test]
+    fn parallel_collapse_on_random_tboxes_matches(seed in 0u64..1_000_000, threads in 2usize..6) {
+        let (mut voc, t1, _) = generate::random_el(6, 2, 8, seed);
+        // Second terminology over the same vocabulary object, distinct
+        // atoms — the cross-ontonomy comparison the sweep was made for.
+        let mut t2 = summa_dl::tbox::TBox::new();
+        let mut rng = generate::SplitMix64::new(seed ^ 0x7EAF);
+        let fresh: Vec<_> = (0..6).map(|i| voc.concept(&format!("X{i}"))).collect();
+        for _ in 0..8 {
+            let a = fresh[rng.below(fresh.len())];
+            let b = fresh[rng.below(fresh.len())];
+            t2.subsume(Concept::atom(a), Concept::atom(b));
+        }
+        let seq = find_isomorphic_pairs_governed(&t1, &t2, &voc, 3, &capped());
+        prop_assume!(matches!(seq, Governed::Completed(_)));
+        let seq = seq.expect_completed("assumed");
+        let par = find_isomorphic_pairs_parallel_governed(&t1, &t2, &voc, 3, &capped(), threads)
+            .expect_completed("within the sequential step cap");
+        prop_assert_eq!(seq, par);
+    }
+}
