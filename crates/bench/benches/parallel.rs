@@ -167,14 +167,30 @@ fn main() {
         entries.push(e);
     }
 
-    // `host_cpus` keys the interpretation: on a single-core host the
-    // parallel lane cannot beat wall clock no matter how well the
-    // executor scales, so a speedup near 1.0 there is the expected
-    // reading, not a regression.
+    // Provenance header: what was run, where, and when. `host_cpus`
+    // keys the interpretation — on a single-core host the parallel
+    // lane cannot beat wall clock no matter how well the executor
+    // scales — and the explicit caveat says so in the report itself
+    // whenever the lane was oversubscribed.
+    let summa_threads = match std::env::var("SUMMA_THREADS") {
+        Ok(v) => format!("\"{}\"", json_escape(&v)),
+        Err(_) => "null".to_string(),
+    };
+    let caveat = if threads > host_cpus {
+        format!(
+            ",\n  \"caveat\": \"{} threads timed on a {}-cpu host: parallel lanes are oversubscribed and speedups near or below 1.0 are expected, not regressions\"",
+            threads, host_cpus
+        )
+    } else {
+        String::new()
+    };
     let json = format!(
-        "{{\n  \"bench\": \"parallel_classification\",\n  \"threads\": {},\n  \"host_cpus\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"parallel_classification\",\n  \"threads\": {},\n  \"host_cpus\": {},\n  \"summa_threads_env\": {},\n  \"generated_at\": \"{}\"{},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         threads,
         host_cpus,
+        summa_threads,
+        summa_bench::iso8601_utc_now(),
+        caveat,
         entries.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");

@@ -35,6 +35,10 @@ pub fn syntactic_critique_governed(budget: &Budget) -> Governed<AdmissionMatrix>
     let defs = standard_definitions();
     let definitions: Vec<String> = defs.iter().map(|d| d.name().to_string()).collect();
     let mut meter = budget.meter();
+    let _span = meter
+        .span("core.syntactic")
+        .with("artifacts", corpus.len())
+        .with("definitions", defs.len());
     let mut artifacts: Vec<String> = vec![];
     let mut cells: Vec<Vec<Judgment>> = vec![];
     for a in &corpus {
@@ -77,6 +81,10 @@ fn judge_cell(
 ) -> Result<Judgment, Interrupt> {
     meter.charge(1)?;
     meter.checkpoint()?;
+    let _span = meter
+        .span("core.judge")
+        .with("artifact", a.name())
+        .with("definition", d.name());
     let started = Instant::now();
     let judged = catch_unwind(AssertUnwindSafe(|| d.admits(a, None)));
     let spend = Spend {
@@ -113,6 +121,11 @@ pub fn syntactic_critique_parallel_governed(
     let defs = standard_definitions();
     let definitions: Vec<String> = defs.iter().map(|d| d.name().to_string()).collect();
     let (rows, cols) = (corpus.len(), defs.len());
+    let _span = budget
+        .tracer()
+        .span("core.syntactic.parallel")
+        .with("cells", rows * cols)
+        .with("threads", threads);
     let outcome = summa_exec::par_cells(
         rows,
         cols,
@@ -171,6 +184,7 @@ pub fn semantic_critique() -> SemanticReport {
 /// are interdependent claims about one experiment, not separable rows.
 pub fn semantic_critique_governed(budget: &Budget) -> Governed<SemanticReport> {
     let mut meter = budget.meter();
+    let _span = meter.span("core.semantic");
     match semantic_critique_metered(&mut meter) {
         Ok(r) => Governed::Completed(r),
         Err(i) => Governed::from_interrupt(i, None),
@@ -190,6 +204,10 @@ pub fn semantic_critique_parallel_governed(
     let p = PaperVocab::new();
     let vehicles = vehicles_tbox(&p);
     let animals = animals_tbox(&p);
+    let _span = budget
+        .tracer()
+        .span("core.semantic.parallel")
+        .with("threads", threads);
     let sweep = find_isomorphic_pairs_parallel_governed(
         &vehicles,
         &animals,
@@ -371,6 +389,7 @@ pub fn pragmatic_critique() -> PragmaticReport {
 /// numbers describe the same experiment.
 pub fn pragmatic_critique_governed(budget: &Budget) -> Governed<PragmaticReport> {
     let mut meter = budget.meter();
+    let _span = meter.span("core.pragmatic");
     match pragmatic_critique_metered(&mut meter) {
         Ok(r) => Governed::Completed(r),
         Err(i) => Governed::from_interrupt(i, None),

@@ -76,6 +76,17 @@ impl AdmissionMatrix {
         out
     }
 
+    /// Render the matrix followed by an observability appendix: the
+    /// span tree and metrics of `tracer`'s current snapshot. With
+    /// tracing disabled the appendix is omitted and the output equals
+    /// [`render`](Self::render) — reports never change shape just
+    /// because observability is off.
+    pub fn render_traced(&self, tracer: &summa_guard::obs::Tracer) -> String {
+        let mut out = self.render();
+        out.push_str(&render_trace_appendix(tracer));
+        out
+    }
+
     /// Render as a fixed-width text table (✓ admitted, ✗ rejected,
     /// ? undecidable, ⊘ unknown — the judge itself failed).
     pub fn render(&self) -> String {
@@ -100,6 +111,22 @@ impl AdmissionMatrix {
         }
         out
     }
+}
+
+/// Render a tracer's snapshot as a report appendix: the human-readable
+/// span tree plus the metrics table, under an "observability" heading.
+/// Empty when the tracer is disabled or recorded nothing, so callers
+/// can append it unconditionally.
+pub fn render_trace_appendix(tracer: &summa_guard::obs::Tracer) -> String {
+    let snap = tracer.snapshot();
+    if snap.spans.is_empty() && snap.counters.is_empty() && snap.histograms.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("\n== observability ==\n");
+    out.push_str(&snap.text_tree());
+    out.push('\n');
+    out.push_str(&snap.metrics_text());
+    out
 }
 
 #[cfg(test)]
@@ -151,6 +178,21 @@ mod tests {
         assert_eq!(m.unknown_count(), 1);
         assert!(m.render().contains('⊘'));
         assert!(!m.admitted("a", "d2"));
+    }
+
+    #[test]
+    fn trace_appendix_is_empty_when_disabled_and_present_when_traced() {
+        use summa_guard::obs::Tracer;
+        let m = tiny();
+        let off = Tracer::disabled();
+        assert_eq!(m.render_traced(&off), m.render());
+        let on = Tracer::enabled();
+        {
+            let _s = on.span("report.test");
+        }
+        let s = m.render_traced(&on);
+        assert!(s.contains("== observability =="));
+        assert!(s.contains("report.test"));
     }
 
     #[test]

@@ -136,6 +136,7 @@ impl Classifier for Tableau {
     ) -> Governed<ClassHierarchy> {
         let atoms: Vec<ConceptId> = tbox.atoms().into_iter().collect();
         let mut meter = budget.meter();
+        let _span = meter.span("dl.classify").with("atoms", atoms.len());
         let mut subsumers = BTreeMap::new();
         for &sub in &atoms {
             let mut set = BTreeSet::new();
@@ -202,6 +203,13 @@ pub fn classify_parallel_governed_with(
     let atoms: Vec<ConceptId> = tbox.atoms().into_iter().collect();
     let n = atoms.len();
     let atoms_ref = &atoms;
+    // The service span lives on the calling thread; worker task spans
+    // (opened by the executor) land in their own lanes.
+    let _span = budget
+        .tracer()
+        .span("dl.classify.parallel")
+        .with("atoms", n)
+        .with("threads", threads);
     let outcome = summa_exec::par_cells(
         n,
         n,
@@ -265,6 +273,7 @@ impl Classifier for ElClassifier {
     ) -> Governed<ClassHierarchy> {
         let atoms: Vec<ConceptId> = tbox.atoms().into_iter().collect();
         let mut meter = budget.meter();
+        let _span = meter.span("dl.classify.el").with("atoms", atoms.len());
         match self.saturate_metered(&mut meter) {
             Ok(()) => Governed::Completed(ClassHierarchy {
                 subsumers: self.current_named_subsumers(&atoms),

@@ -165,6 +165,9 @@ impl ElClassifier {
         if self.saturated {
             return Ok(());
         }
+        let _span = meter
+            .span("dl.el.saturate")
+            .with("atoms", self.n_atoms as u64);
         let n = self.n_atoms as usize;
         let mut s: Vec<BTreeSet<Atom>> = (0..n)
             .map(|i| {

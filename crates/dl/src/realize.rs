@@ -111,6 +111,9 @@ pub fn realize_governed(
 ) -> Governed<Realization> {
     let mut reasoner = Tableau::new(tbox, voc);
     let mut meter = budget.meter();
+    let _span = meter
+        .span("dl.realize")
+        .with("individuals", abox.individuals().count());
     let mut types: BTreeMap<Individual, BTreeSet<ConceptId>> = BTreeMap::new();
     let mut most_specific: BTreeMap<Individual, BTreeSet<ConceptId>> = BTreeMap::new();
     match realize_metered(
@@ -157,6 +160,11 @@ pub fn realize_parallel_governed(
     let individuals: Vec<Individual> = abox.individuals().collect();
     let atoms: Vec<ConceptId> = voc.concepts().collect();
     let atoms_ref = &atoms;
+    let _span = budget
+        .tracer()
+        .span("dl.realize.parallel")
+        .with("individuals", individuals.len())
+        .with("threads", threads);
     let outcome = summa_exec::par_map_with(
         &individuals,
         budget,

@@ -331,6 +331,9 @@ impl Tableau {
                 None => meter.note_cache_miss(),
             }
         }
+        // Span covers the actual search only — cached answers return
+        // above without opening one, so a flamegraph shows real work.
+        let mut span = meter.span("dl.sat");
         let mut st = State::new();
         let mut label: BTreeSet<Concept> = BTreeSet::new();
         label.insert(nnf.clone());
@@ -340,6 +343,7 @@ impl Tableau {
             self.expand(st, node_cap, &mut 0, meter)?,
             Outcome::Satisfiable
         );
+        span.record("sat", sat);
         // Only completed searches are memoized: a budget-interrupted
         // run has no answer to cache (and never reaches this line).
         if let Some(shared) = &self.shared {
@@ -447,10 +451,13 @@ impl Tableau {
             let (ia, ib) = (index[&a.0], index[&b.0]);
             st.nodes[ia].edges.push((*r, ib));
         }
-        Ok(matches!(
+        let mut span = meter.span("dl.consistent");
+        let consistent = matches!(
             self.expand(st, node_cap, &mut 0, meter)?,
             Outcome::Satisfiable
-        ))
+        );
+        span.record("consistent", consistent);
+        Ok(consistent)
     }
 
     /// Instance check: does the ABox entail `c(a)`?
@@ -498,7 +505,12 @@ impl Tableau {
     ) -> std::result::Result<Outcome, Stop> {
         let mut stack: Vec<State> = vec![st];
         'states: while let Some(mut st) = stack.pop() {
+            // Every `charge` in the expansion machinery has a matching
+            // `count` under a `dl.rule.*` name, so the counter totals
+            // reconcile exactly with the steps on the ledger (proved by
+            // the workspace's integration_obs property test).
             meter.charge(1)?;
+            meter.count("dl.rule.search", 1);
             // Deterministic rules to fixpoint, abandoning on clash.
             loop {
                 if (0..st.nodes.len()).any(|x| st.nodes[x].alive && st.has_clash(x)) {
@@ -531,6 +543,7 @@ impl Tableau {
         meter: &mut Meter,
     ) -> std::result::Result<bool, Stop> {
         meter.charge(1)?;
+        meter.count("dl.rule.round", 1);
         let n = st.nodes.len();
         for x in 0..n {
             if !st.nodes[x].alive {
@@ -579,7 +592,16 @@ impl Tableau {
                             .into_iter()
                             .any(|y| st.nodes[y].label.contains(d.as_ref()));
                         if !has {
-                            self.spawn_child(st, x, *r, [d.as_ref().clone()], node_cap, created, meter)?;
+                            self.spawn_child(
+                                st,
+                                x,
+                                *r,
+                                [d.as_ref().clone()],
+                                node_cap,
+                                created,
+                                meter,
+                                "dl.rule.exists",
+                            )?;
                             return Ok(true);
                         }
                     }
@@ -598,8 +620,16 @@ impl Tableau {
                         if (with_d.len() as u32) < *k {
                             let mut fresh = vec![];
                             for _ in with_d.len() as u32..*k {
-                                let id =
-                                    self.spawn_child(st, x, *r, [d.as_ref().clone()], node_cap, created, meter)?;
+                                let id = self.spawn_child(
+                                    st,
+                                    x,
+                                    *r,
+                                    [d.as_ref().clone()],
+                                    node_cap,
+                                    created,
+                                    meter,
+                                    "dl.rule.at_least",
+                                )?;
                                 fresh.push(id);
                             }
                             // New witnesses pairwise distinct, and distinct
@@ -632,12 +662,14 @@ impl Tableau {
         node_cap: usize,
         created: &mut usize,
         meter: &mut Meter,
+        rule: &'static str,
     ) -> std::result::Result<usize, Stop> {
         *created += 1;
         if *created > node_cap {
             return Err(Stop::NodeBudget);
         }
         meter.charge(1)?;
+        meter.count(rule, 1);
         meter.charge_memory(1)?;
         let mut label: BTreeSet<Concept> = seed.into_iter().collect();
         label.extend(self.universal.iter().cloned());

@@ -114,10 +114,11 @@ impl StealQueues {
 
     /// Next index for worker `w`: own deque first, then steal from the
     /// *back* of the fullest sibling (halving contention on the
-    /// victim's hot front).
-    fn next(&self, w: usize) -> Option<usize> {
+    /// victim's hot front). The flag reports whether the index was
+    /// stolen — observability only, never control flow.
+    fn next(&self, w: usize) -> Option<(usize, bool)> {
         if let Some(i) = self.deques[w].lock().expect("queue poisoned").pop_front() {
-            return Some(i);
+            return Some((i, false));
         }
         // Pick the currently longest sibling queue as the victim.
         let mut victim: Option<(usize, usize)> = None;
@@ -131,7 +132,11 @@ impl StealQueues {
             }
         }
         let (v, _) = victim?;
-        self.deques[v].lock().expect("queue poisoned").pop_back()
+        self.deques[v]
+            .lock()
+            .expect("queue poisoned")
+            .pop_back()
+            .map(|i| (i, true))
     }
 }
 
@@ -164,17 +169,32 @@ where
     let queues = StealQueues::seed(items.len(), workers);
 
     let run_worker = |w: usize| -> (Vec<(usize, R)>, Spend) {
+        let tracer = shared.tracer().clone();
+        let _worker_span = tracer.span("exec.worker").with("worker", w);
         let mut state = init(w);
         let mut meter = shared.worker_meter();
         let mut done: Vec<(usize, R)> = Vec::new();
-        while let Some(idx) = queues.next(w) {
+        while let Some((idx, stolen)) = queues.next(w) {
+            tracer.add("exec.task", 1);
+            if stolen {
+                tracer.add("exec.steal", 1);
+            }
+            let mut task_span = tracer.span("exec.task").with("idx", idx);
+            if stolen {
+                task_span.record("stolen", true);
+            }
             match f(&mut state, &mut meter, idx, &items[idx]) {
                 Ok(r) => done.push((idx, r)),
                 // The meter is sticky and the trip is already on the
                 // ledger; stop draining.
-                Err(_) => break,
+                Err(_) => {
+                    task_span.record("interrupted", true);
+                    break;
+                }
             }
         }
+        // Worker ran out of local and stealable work (or tripped).
+        tracer.add("exec.park", 1);
         (done, meter.spend())
     };
 
@@ -389,5 +409,42 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_emits_spans_and_counters_when_traced() {
+        use summa_guard::obs::Tracer;
+        let tracer = Tracer::enabled();
+        let budget = Budget::unlimited().with_tracer(tracer.clone());
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, &budget, 4, |m, _, &x| {
+            m.charge(1)?;
+            Ok(x)
+        });
+        assert!(out.is_complete());
+        assert_eq!(tracer.counter_value("exec.task"), 64);
+        assert_eq!(tracer.counter_value("exec.park"), 4);
+        let snap = tracer.snapshot();
+        let tasks: Vec<_> = snap.spans.iter().filter(|s| s.name == "exec.task").collect();
+        assert_eq!(tasks.len(), 64);
+        assert!(tasks.iter().all(|s| s.depth >= 1), "tasks nest in workers");
+        let workers = snap.spans.iter().filter(|s| s.name == "exec.worker").count();
+        assert_eq!(workers, 4);
+    }
+
+    #[test]
+    fn tracing_does_not_change_results_or_spend() {
+        let items: Vec<u64> = (0..128).collect();
+        let run = |budget: &Budget| {
+            par_map(items.as_slice(), budget, 4, |m, _, &x| {
+                m.charge(1)?;
+                Ok(x.wrapping_mul(x))
+            })
+        };
+        let plain = run(&Budget::unlimited());
+        let traced = run(&Budget::unlimited().with_tracer(summa_guard::obs::Tracer::enabled()));
+        assert_eq!(plain.results, traced.results);
+        assert_eq!(plain.spend.steps, traced.spend.steps);
+        assert_eq!(plain.spend.cache_hits, traced.spend.cache_hits);
     }
 }

@@ -40,6 +40,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Structured tracing and metrics (re-exported `summa-obs`).
+///
+/// The [`Tracer`](obs::Tracer) rides inside [`Budget`] / [`Meter`] /
+/// [`SharedBudget`], so every governed engine can emit spans
+/// (`meter.span("dl.sat")`) and counters (`meter.count(…, 1)`) without
+/// depending on `summa-obs` directly. Tracing is observation-only: no
+/// tracer call can perturb metering, results, or control flow, and the
+/// disabled hot path is a single atomic load.
+pub use summa_obs as obs;
+
 /// How often (in charged steps) the meter re-checks the wall clock and
 /// the cancel flag. `Instant::now()` and the atomic load are cheap but
 /// not free; engines charge in the innermost loop.
@@ -187,6 +197,9 @@ pub struct Budget {
     max_memory: Option<u64>,
     cancel: Option<CancelToken>,
     fault: Option<FaultPlan>,
+    /// Explicit tracer; `None` falls back to the process-global one
+    /// (gated by `SUMMA_TRACE`).
+    tracer: Option<obs::Tracer>,
 }
 
 impl Budget {
@@ -235,6 +248,23 @@ impl Budget {
     pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
         self
+    }
+
+    /// Attach an explicit [`Tracer`](obs::Tracer). Without one, every
+    /// meter drawn from this budget records to the process-global
+    /// tracer, which is enabled only when `SUMMA_TRACE` is set — so
+    /// untraced runs pay one atomic load per instrumentation point.
+    pub fn with_tracer(mut self, tracer: obs::Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The tracer meters drawn from this budget will record to: the
+    /// explicit one if attached, else the process-global tracer.
+    pub fn tracer(&self) -> obs::Tracer {
+        self.tracer
+            .clone()
+            .unwrap_or_else(|| obs::Tracer::global().clone())
     }
 
     /// The configured step limit, if any.
@@ -377,6 +407,7 @@ pub struct SharedBudget {
     started: Instant,
     cancel: Option<CancelToken>,
     fault: Option<FaultPlan>,
+    tracer: obs::Tracer,
 }
 
 impl SharedBudget {
@@ -395,7 +426,13 @@ impl SharedBudget {
             started,
             cancel: budget.cancel.clone(),
             fault: budget.fault.clone(),
+            tracer: budget.tracer(),
         }
+    }
+
+    /// The tracer all worker meters of this envelope record to.
+    pub fn tracer(&self) -> &obs::Tracer {
+        &self.tracer
     }
 
     /// A meter for one worker. Step and memory charges drain the
@@ -418,6 +455,7 @@ impl SharedBudget {
             cache_hits: 0,
             cache_misses: 0,
             shared: Some(Arc::clone(&self.ledger)),
+            tracer: self.tracer.clone(),
         }
     }
 
@@ -578,6 +616,9 @@ pub struct Meter {
     /// step/memory charges drain the shared pool instead of the local
     /// limits, and interrupts propagate through it.
     shared: Option<Arc<SharedLedger>>,
+    /// Where spans and metric updates from this meter land. Disabled
+    /// tracers make every recording call a single atomic load.
+    tracer: obs::Tracer,
 }
 
 impl Meter {
@@ -599,6 +640,7 @@ impl Meter {
             cache_hits: 0,
             cache_misses: 0,
             shared: None,
+            tracer: budget.tracer(),
         }
     }
 
@@ -699,16 +741,40 @@ impl Meter {
         Err(i)
     }
 
-    /// Record a subsumption-cache hit (surfaced in [`Spend`]).
+    /// Record a subsumption-cache hit (surfaced in [`Spend`] and, when
+    /// tracing, the `guard.cache.hit` counter).
     #[inline]
     pub fn note_cache_hit(&mut self) {
         self.cache_hits = self.cache_hits.saturating_add(1);
+        self.tracer.add("guard.cache.hit", 1);
     }
 
-    /// Record a subsumption-cache miss (surfaced in [`Spend`]).
+    /// Record a subsumption-cache miss (surfaced in [`Spend`] and,
+    /// when tracing, the `guard.cache.miss` counter).
     #[inline]
     pub fn note_cache_miss(&mut self) {
         self.cache_misses = self.cache_misses.saturating_add(1);
+        self.tracer.add("guard.cache.miss", 1);
+    }
+
+    /// The tracer this meter records to.
+    pub fn tracer(&self) -> &obs::Tracer {
+        &self.tracer
+    }
+
+    /// Open an observability span (no-op unless tracing is enabled).
+    /// The returned guard is independent of the meter's borrow, so
+    /// engines can hold it across further `&mut meter` calls.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> obs::Span {
+        self.tracer.span(name)
+    }
+
+    /// Bump an observability counter (no-op unless tracing is
+    /// enabled). Purely observational: never touches the ledger.
+    #[inline]
+    pub fn count(&self, name: &'static str, n: u64) {
+        self.tracer.add(name, n);
     }
 
     /// Steps charged so far.
@@ -842,6 +908,7 @@ impl<T> Governed<T> {
 
 /// Convenience prelude: `use summa_guard::prelude::*;`.
 pub mod prelude {
+    pub use crate::obs::Tracer;
     pub use crate::{
         Budget, CancelToken, ExhaustionReason, FaultPlan, Governed, Interrupt, Meter, SharedBudget,
         Spend,
@@ -1069,5 +1136,138 @@ mod tests {
         let c: Governed<u32> = Governed::from_interrupt(Interrupt::Cancelled, None);
         assert_eq!(c.status(), "cancelled");
         assert_eq!(c.as_partial(), None);
+    }
+
+    #[test]
+    fn absorb_saturates_step_addition() {
+        let mut total = Spend {
+            steps: u64::MAX - 5,
+            ..Default::default()
+        };
+        total.absorb(&Spend {
+            steps: 100,
+            ..Default::default()
+        });
+        assert_eq!(total.steps, u64::MAX, "near-overflow clamps, no wrap");
+    }
+
+    #[test]
+    fn absorb_merges_peak_memory_by_max() {
+        let mut total = Spend {
+            peak_memory: 40,
+            ..Default::default()
+        };
+        total.absorb(&Spend {
+            peak_memory: 70,
+            ..Default::default()
+        });
+        assert_eq!(total.peak_memory, 70, "higher peak wins");
+        total.absorb(&Spend {
+            peak_memory: 10,
+            ..Default::default()
+        });
+        assert_eq!(total.peak_memory, 70, "lower peak does not regress");
+    }
+
+    #[test]
+    fn absorb_accumulates_cache_and_elapsed() {
+        let mut total = Spend::default();
+        let worker = Spend {
+            steps: 10,
+            elapsed: Duration::from_millis(3),
+            peak_memory: 5,
+            cache_hits: 2,
+            cache_misses: 7,
+        };
+        total.absorb(&worker);
+        total.absorb(&worker);
+        assert_eq!(total.steps, 20);
+        assert_eq!(total.elapsed, Duration::from_millis(6));
+        assert_eq!(total.cache_hits, 4);
+        assert_eq!(total.cache_misses, 14);
+        // Saturation on the cache counters too.
+        let mut near = Spend {
+            cache_hits: u64::MAX,
+            cache_misses: u64::MAX,
+            ..Default::default()
+        };
+        near.absorb(&worker);
+        assert_eq!(near.cache_hits, u64::MAX);
+        assert_eq!(near.cache_misses, u64::MAX);
+    }
+
+    #[test]
+    fn spend_display_round_trips_every_populated_field() {
+        let spend = Spend {
+            steps: 1234,
+            elapsed: Duration::from_millis(42),
+            peak_memory: 99,
+            cache_hits: 3,
+            cache_misses: 1,
+        };
+        let shown = format!("{spend}");
+        assert!(shown.contains("1234 steps"), "steps in {shown:?}");
+        assert!(shown.contains("42.0ms"), "elapsed in {shown:?}");
+        assert!(shown.contains("99 mem units"), "memory in {shown:?}");
+        assert!(shown.contains("cache 3/4 hit"), "cache ratio in {shown:?}");
+        // Sparse spends omit the optional clauses entirely.
+        let bare = format!(
+            "{}",
+            Spend {
+                steps: 7,
+                ..Default::default()
+            }
+        );
+        assert!(!bare.contains("mem units"));
+        assert!(!bare.contains("cache"));
+    }
+
+    #[test]
+    fn meter_records_to_the_budget_tracer() {
+        let tracer = obs::Tracer::enabled();
+        let budget = Budget::unlimited().with_tracer(tracer.clone());
+        let mut meter = budget.meter();
+        {
+            let _s = meter.span("test.work");
+            meter.charge(3).expect("unlimited");
+            meter.count("test.units", 3);
+        }
+        meter.note_cache_hit();
+        meter.note_cache_miss();
+        assert_eq!(tracer.counter_value("test.units"), 3);
+        assert_eq!(tracer.counter_value("guard.cache.hit"), 1);
+        assert_eq!(tracer.counter_value("guard.cache.miss"), 1);
+        let snap = tracer.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "test.work");
+        // Tracing is observation-only: the spend is exactly what the
+        // charges dictated.
+        assert_eq!(meter.spend().steps, 3);
+    }
+
+    #[test]
+    fn shared_budget_propagates_tracer_to_workers() {
+        let tracer = obs::Tracer::enabled();
+        let shared = Budget::unlimited().with_tracer(tracer.clone()).share();
+        let meter = shared.worker_meter();
+        meter.count("worker.ticks", 2);
+        shared.tracer().add("worker.ticks", 1);
+        assert_eq!(tracer.counter_value("worker.ticks"), 3);
+    }
+
+    #[test]
+    fn default_budget_uses_global_tracer() {
+        // Without SUMMA_TRACE the global tracer is disabled, and the
+        // instrumentation surface must be inert.
+        let budget = Budget::unlimited();
+        let mut meter = budget.meter();
+        {
+            let _s = meter.span("inert");
+        }
+        meter.note_cache_hit();
+        assert_eq!(
+            budget.tracer().is_enabled(),
+            obs::Tracer::global().is_enabled()
+        );
     }
 }

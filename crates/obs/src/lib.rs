@@ -1,0 +1,650 @@
+//! # summa-obs — structured tracing and metrics for the reasoning substrates
+//!
+//! The paper's arguments are carried by worked derivations — tableau
+//! refutations, isomorphism searches, collapse sweeps — and until now
+//! those ran as black boxes: a [`Spend`](../summa_guard) total and a
+//! verdict, with no record of *what the reasoner did*. This crate is
+//! the record. It provides:
+//!
+//! * a **span/event tracing core** — [`Tracer`] hands out nested
+//!   [`Span`] guards with thread-aware ids, monotonic timestamps, and
+//!   structured `key=value` attributes. Completed spans land in a
+//!   per-thread buffer (no cross-thread contention on the hot path),
+//!   flushed to the tracer's shared sink in chunks and on thread exit,
+//!   so tracing is safe inside `summa-exec` workers;
+//! * a **metrics registry** — named monotonic counters and log-scale
+//!   latency histograms (p50/p95/p99) for tableau expansions per rule,
+//!   cache hit/miss, worker steal counts, and per-substrate wall time.
+//!   Every span's duration is recorded into the histogram of its name
+//!   automatically;
+//! * **exporters** (see [`export`]) — Chrome `trace_event` JSON
+//!   (loadable in `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)),
+//!   a collapsed-stack format consumable by `inferno` /
+//!   `flamegraph.pl`, and a human-readable aggregated text tree.
+//!
+//! ## Cost model
+//!
+//! [`Tracer::disabled`]'s hot path is a **single relaxed atomic load**:
+//! every recording method checks one `AtomicBool` and returns. There
+//! is no allocation, no lock, and no clock read on the disabled path,
+//! so governed engines can call `meter.span(…)` / `meter.count(…)`
+//! unconditionally. Enabled-path span recording touches only the
+//! current thread's buffer (a `thread_local!` `Vec`), taking the
+//! shared sink lock once per [`FLUSH_CHUNK`] completed spans.
+//!
+//! Tracing is **observation-only by construction**: no recording
+//! method returns a value an engine could branch on, and none touches
+//! a meter — a traced run is byte-identical to an untraced one (the
+//! workspace's `integration_obs` suite proves this per substrate).
+//!
+//! ## Gating
+//!
+//! [`Tracer::global`] is a process-wide tracer enabled when the
+//! `SUMMA_TRACE` environment variable is set to `1`/`true` at first
+//! use. `summa-guard` budgets without an explicit tracer fall back to
+//! it, so `SUMMA_TRACE=1` traces every governed entry point in the
+//! workspace with no call-site changes; an explicit
+//! [`Budget::with_tracer`](../summa_guard) overrides the gate per run.
+
+pub mod export;
+pub mod metrics;
+
+pub use export::{HistogramSummary, SpanRecord, TraceSnapshot};
+pub use metrics::Histogram;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::Instant;
+
+/// Completed spans per thread buffered before taking the shared sink
+/// lock once. Thread exit and [`Tracer::snapshot`] flush early.
+pub const FLUSH_CHUNK: usize = 256;
+
+/// Hard cap on retained span records per tracer. A long traced run
+/// (e.g. a whole test suite under `SUMMA_TRACE=1`) drops spans beyond
+/// the cap instead of growing without bound; the drop count is
+/// surfaced in the snapshot.
+pub const MAX_SPANS: usize = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Attribute values
+// ---------------------------------------------------------------------
+
+/// A structured attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Inner {
+    /// Identity for thread-local buffer keying (tracers are
+    /// per-process unique).
+    id: u64,
+    /// The one flag the disabled hot path reads.
+    enabled: AtomicBool,
+    /// t₀ for every monotonic timestamp this tracer emits.
+    epoch: Instant,
+    /// Completed spans flushed from per-thread buffers.
+    sink: Mutex<Vec<SpanRecord>>,
+    /// Spans discarded once [`MAX_SPANS`] was reached.
+    dropped: AtomicU64,
+    /// Counters and histograms.
+    metrics: metrics::Registry,
+}
+
+/// A cheap, cloneable handle to one trace session.
+///
+/// All clones share the same buffers and metrics; `Tracer` is `Send +
+/// Sync` and safe to use from `summa-exec` worker threads. See the
+/// crate docs for the cost model.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+static DISABLED: OnceLock<Tracer> = OnceLock::new();
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    fn with_enabled(enabled: bool) -> Tracer {
+        Tracer {
+            inner: Arc::new(Inner {
+                id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+                enabled: AtomicBool::new(enabled),
+                epoch: Instant::now(),
+                sink: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+                metrics: metrics::Registry::new(),
+            }),
+        }
+    }
+
+    /// A fresh, recording tracer with its own buffers and registry.
+    pub fn enabled() -> Tracer {
+        Tracer::with_enabled(true)
+    }
+
+    /// The shared no-op tracer. Every recording method's overhead is a
+    /// single relaxed atomic load.
+    pub fn disabled() -> Tracer {
+        DISABLED.get_or_init(|| Tracer::with_enabled(false)).clone()
+    }
+
+    /// [`Tracer::enabled`] when the `SUMMA_TRACE` environment variable
+    /// is `1`/`true`/`yes`/`on` (case-insensitive), else
+    /// [`Tracer::disabled`].
+    pub fn from_env() -> Tracer {
+        let on = std::env::var("SUMMA_TRACE")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                matches!(v.as_str(), "1" | "true" | "yes" | "on")
+            })
+            .unwrap_or(false);
+        if on {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        }
+    }
+
+    /// The process-wide tracer, initialized from the environment on
+    /// first use. Governance budgets without an explicit tracer record
+    /// here, so `SUMMA_TRACE=1` turns on tracing for every governed
+    /// entry point with no call-site changes.
+    pub fn global() -> &'static Tracer {
+        GLOBAL.get_or_init(Tracer::from_env)
+    }
+
+    /// Is this tracer recording?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Open a nested span named `name`. The span records its duration
+    /// (and its attributes) when dropped; durations are also folded
+    /// into the latency histogram of the same name. On a disabled
+    /// tracer this is a no-op returning an inert guard.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        if !self.is_enabled() {
+            return Span { ctx: None };
+        }
+        self.span_slow(name)
+    }
+
+    #[cold]
+    fn span_slow(&self, name: &'static str) -> Span {
+        let (tid, seq, depth) = with_local(&self.inner, |tid, local| {
+            let seq = local.seq;
+            let depth = local.depth;
+            local.seq += 1;
+            local.depth += 1;
+            (tid, seq, depth)
+        });
+        Span {
+            ctx: Some(SpanCtx {
+                inner: Arc::clone(&self.inner),
+                name,
+                tid,
+                seq,
+                depth,
+                t0_ns: self.now_ns(),
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Record a zero-duration marker span (an *instant* in Chrome
+    /// trace parlance).
+    pub fn instant(&self, name: &'static str) {
+        drop(self.span(name));
+    }
+
+    /// Add `n` to the monotonic counter `name` (created on first use).
+    #[inline]
+    pub fn add(&self, name: &'static str, n: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.metrics.counter(name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one latency observation into the log-scale histogram
+    /// `name` (created on first use).
+    #[inline]
+    pub fn record_ns(&self, name: &'static str, ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.metrics.histogram(name).record(ns);
+    }
+
+    /// Current value of counter `name` (0 when absent or disabled).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner.metrics.counter_value(name)
+    }
+
+    /// Snapshot everything recorded so far: spans (flushing the
+    /// calling thread's buffer first), counter totals, and histogram
+    /// summaries. Worker threads that already exited have flushed via
+    /// their thread-local destructor; a thread still mid-chunk
+    /// contributes its buffered spans at its next flush.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        flush_current_thread(&self.inner);
+        let spans = self.inner.sink.lock().expect("sink poisoned").clone();
+        TraceSnapshot {
+            spans,
+            counters: self.inner.metrics.counters(),
+            histograms: self.inner.metrics.histogram_summaries(),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Inner {
+    fn accept(&self, batch: &mut Vec<SpanRecord>) {
+        let mut sink = self.sink.lock().expect("sink poisoned");
+        let room = MAX_SPANS.saturating_sub(sink.len());
+        if batch.len() > room {
+            self.dropped
+                .fetch_add((batch.len() - room) as u64, Ordering::Relaxed);
+            batch.truncate(room);
+        }
+        sink.append(batch);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Span guard
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct SpanCtx {
+    inner: Arc<Inner>,
+    name: &'static str,
+    tid: u32,
+    seq: u64,
+    depth: u32,
+    t0_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// An open span; completing (dropping) it records the span. Inert on
+/// a disabled tracer.
+#[derive(Debug)]
+#[must_use = "a span records its duration when dropped; binding it to _ ends it immediately"]
+pub struct Span {
+    ctx: Option<SpanCtx>,
+}
+
+impl Span {
+    /// Attach an attribute (builder style, for attributes known at
+    /// open time).
+    pub fn with(mut self, key: &'static str, value: impl Into<AttrValue>) -> Self {
+        if let Some(ctx) = &mut self.ctx {
+            ctx.attrs.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Attach an attribute to an already-open span (for results known
+    /// only at the end of the traced region).
+    pub fn record(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(ctx) = &mut self.ctx {
+            ctx.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Is this guard actually recording? (False on disabled tracers.)
+    pub fn is_recording(&self) -> bool {
+        self.ctx.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(ctx) = self.ctx.take() else {
+            return;
+        };
+        let dur_ns = ctx
+            .inner
+            .epoch
+            .elapsed()
+            .as_nanos()
+            .saturating_sub(ctx.t0_ns as u128) as u64;
+        ctx.inner.metrics.histogram(ctx.name).record(dur_ns);
+        let record = SpanRecord {
+            name: ctx.name,
+            tid: ctx.tid,
+            seq: ctx.seq,
+            depth: ctx.depth,
+            t0_ns: ctx.t0_ns,
+            dur_ns,
+            attrs: ctx.attrs,
+        };
+        with_local(&ctx.inner, |_, local| {
+            local.depth = local.depth.saturating_sub(1);
+            local.buf.push(record);
+            // Closing the outermost span flushes unconditionally: a
+            // scoped-thread worker's spans are handed to the sink
+            // *inside* the worker closure, before the scope can join —
+            // thread-exit TLS destructors may run after `scope`
+            // returns, so they are only a backstop.
+            if local.buf.len() >= FLUSH_CHUNK || local.depth == 0 {
+                if let Some(inner) = local.sink.upgrade() {
+                    inner.accept(&mut local.buf);
+                } else {
+                    local.buf.clear();
+                }
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread buffers
+// ---------------------------------------------------------------------
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+/// One thread's buffer for one tracer.
+#[derive(Debug)]
+struct TracerLocal {
+    tracer_id: u64,
+    sink: Weak<Inner>,
+    /// Open-span nesting depth on this thread.
+    depth: u32,
+    /// Per-thread span-begin sequence number (orders siblings).
+    seq: u64,
+    buf: Vec<SpanRecord>,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    tid: u32,
+    tracers: Vec<TracerLocal>,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            tracers: Vec::new(),
+        }
+    }
+
+    fn local_for(&mut self, inner: &Arc<Inner>) -> &mut TracerLocal {
+        if let Some(i) = self.tracers.iter().position(|t| t.tracer_id == inner.id) {
+            return &mut self.tracers[i];
+        }
+        // Registering a new tracer is the rare path: purge entries of
+        // tracers that no longer exist so long-lived threads don't
+        // accumulate dead buffers.
+        self.tracers.retain(|t| t.sink.strong_count() > 0);
+        self.tracers.push(TracerLocal {
+            tracer_id: inner.id,
+            sink: Arc::downgrade(inner),
+            depth: 0,
+            seq: 0,
+            buf: Vec::new(),
+        });
+        self.tracers.last_mut().expect("just pushed")
+    }
+}
+
+impl Drop for ThreadState {
+    /// Thread exit flushes every buffered span — scoped executor
+    /// workers hand their spans over before the scope joins them.
+    fn drop(&mut self) {
+        for t in &mut self.tracers {
+            if t.buf.is_empty() {
+                continue;
+            }
+            if let Some(inner) = t.sink.upgrade() {
+                inner.accept(&mut t.buf);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState::new());
+}
+
+fn with_local<R>(inner: &Arc<Inner>, f: impl FnOnce(u32, &mut TracerLocal) -> R) -> R {
+    TLS.with(|cell| {
+        let mut st = cell.borrow_mut();
+        let tid = st.tid;
+        f(tid, st.local_for(inner))
+    })
+}
+
+fn flush_current_thread(inner: &Arc<Inner>) {
+    with_local(inner, |_, local| {
+        if !local.buf.is_empty() {
+            inner.accept(&mut local.buf);
+        }
+    });
+}
+
+/// Convenience prelude: `use summa_obs::prelude::*;`.
+pub mod prelude {
+    pub use crate::{AttrValue, Span, TraceSnapshot, Tracer};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let _s = t.span("never").with("k", 1u64);
+        }
+        t.add("c", 5);
+        t.record_ns("h", 100);
+        let snap = t.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert_eq!(t.counter_value("c"), 0);
+    }
+
+    #[test]
+    fn spans_nest_with_depth_and_seq() {
+        let t = Tracer::enabled();
+        {
+            let _outer = t.span("outer").with("n", 2u64);
+            {
+                let _inner = t.span("inner");
+            }
+            {
+                let _inner = t.span("inner");
+            }
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        let outer = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inners: Vec<_> = snap.spans.iter().filter(|s| s.name == "inner").collect();
+        assert_eq!(outer.depth, 0);
+        assert!(inners.iter().all(|s| s.depth == 1));
+        assert!(inners.iter().all(|s| s.seq > outer.seq));
+        assert!(inners.iter().all(|s| s.t0_ns >= outer.t0_ns));
+        assert!(outer.dur_ns >= inners.iter().map(|s| s.dur_ns).sum::<u64>());
+        assert_eq!(outer.attrs, vec![("n", AttrValue::U64(2))]);
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let t = Tracer::enabled();
+        t.add("hits", 2);
+        t.add("hits", 3);
+        t.record_ns("lat", 1_000);
+        t.record_ns("lat", 2_000);
+        t.record_ns("lat", 1_000_000);
+        assert_eq!(t.counter_value("hits"), 5);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters, vec![("hits".to_string(), 5)]);
+        let lat = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "lat")
+            .expect("histogram exists");
+        assert_eq!(lat.count, 3);
+        assert!(lat.p50_ns >= 1_000 && lat.p50_ns < 1_000_000);
+        assert!(lat.p99_ns >= 500_000, "p99 lands in the top bucket");
+    }
+
+    #[test]
+    fn worker_thread_spans_flush_on_exit_with_own_tid() {
+        let t = Tracer::enabled();
+        {
+            let _s = t.span("main");
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    let _s = t.span("worker");
+                });
+            }
+        });
+        let snap = t.snapshot();
+        let main_tid = snap.spans.iter().find(|s| s.name == "main").unwrap().tid;
+        let workers: Vec<_> = snap.spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 2);
+        assert!(workers.iter().all(|w| w.tid != main_tid));
+    }
+
+    #[test]
+    fn disabled_path_costs_nanoseconds_not_microseconds() {
+        // The overhead contract: a disabled tracer's span/count calls
+        // are one relaxed atomic load each. Measure 100k calls and
+        // bound the mean loosely (1 µs/op is ~3 orders of magnitude
+        // above the real cost, so this never flakes on slow CI; the
+        // printed figure is the measured number DESIGN.md §9 cites).
+        let t = Tracer::disabled();
+        let iters = 100_000u32;
+        let started = std::time::Instant::now();
+        for i in 0..iters {
+            let _s = t.span("off");
+            t.add("c", u64::from(i) & 1);
+        }
+        let per_op = started.elapsed().as_nanos() / u128::from(iters * 2);
+        println!("disabled span+count: ~{per_op} ns/op");
+        assert!(per_op < 1_000, "disabled path cost {per_op} ns/op");
+    }
+
+    #[test]
+    fn instants_have_zero_ish_duration() {
+        let t = Tracer::enabled();
+        t.instant("mark");
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "mark");
+    }
+
+    #[test]
+    fn record_attaches_late_attributes() {
+        let t = Tracer::enabled();
+        {
+            let mut s = t.span("q");
+            s.record("sat", true);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.spans[0].attrs, vec![("sat", AttrValue::Bool(true))]);
+    }
+
+    #[test]
+    fn clones_share_one_session() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        t2.add("c", 1);
+        {
+            let _s = t2.span("shared");
+        }
+        assert_eq!(t.counter_value("c"), 1);
+        assert_eq!(t.snapshot().spans.len(), 1);
+    }
+
+    #[test]
+    fn global_is_disabled_without_env() {
+        // The test harness does not set SUMMA_TRACE for unit tests; if
+        // a trace lane does, the global must be enabled instead — both
+        // states are legal, the invariant is mere consistency.
+        let g = Tracer::global();
+        let expect = std::env::var("SUMMA_TRACE")
+            .map(|v| matches!(v.trim(), "1" | "true" | "yes" | "on"))
+            .unwrap_or(false);
+        assert_eq!(g.is_enabled(), expect);
+    }
+}

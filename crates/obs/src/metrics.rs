@@ -1,0 +1,251 @@
+//! Named monotonic counters and log-scale latency histograms.
+//!
+//! The registry is name-keyed and lazy: the first `add`/`record` for a
+//! name creates the instrument, so substrates never declare metrics up
+//! front. Counter/histogram *lookup* takes a short mutex; the returned
+//! handles are plain atomics, so repeated hot-path updates through a
+//! cached handle are lock-free. (The [`Tracer`](crate::Tracer) facade
+//! looks up per call, which is still one short uncontended lock +
+//! one `fetch_add` — cheap next to a tableau expansion.)
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::export::HistogramSummary;
+
+/// Number of log₂ buckets. Bucket `i` holds observations `v` with
+/// `floor(log2(v)) == i` (bucket 0 additionally holds `v == 0`), so
+/// the range spans 1 ns … 2⁶³ ns — far past any span we will see.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of nanosecond observations.
+///
+/// Recording is one `fetch_add` per observation plus three atomic
+/// updates for count/sum/max; quantiles are reconstructed from bucket
+/// midpoints, so they carry at most ~±50% relative error — ample for
+/// the p50/p95/p99 "where does time go" question the exporters answer.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros()) as usize
+        }
+    }
+
+    /// Midpoint of bucket `i`'s value range — the representative value
+    /// quantile reconstruction reports.
+    fn bucket_midpoint(i: usize) -> u64 {
+        if i == 0 {
+            1
+        } else {
+            // [2^i, 2^(i+1)) → midpoint 1.5·2^i.
+            (1u64 << i) + (1u64 << (i - 1))
+        }
+    }
+
+    /// Record one observation, in nanoseconds.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation, in nanoseconds (exact, not bucketed).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, from
+    /// bucket midpoints. Returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_midpoint(i);
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Summarize for export under `name`.
+    pub fn summarize(&self, name: &str) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            name: name.to_string(),
+            count,
+            sum_ns: self.sum_ns(),
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
+            max_ns: self.max_ns(),
+        }
+    }
+}
+
+/// Name-keyed registry of counters and histograms. Shared by all
+/// clones of one [`Tracer`](crate::Tracer).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Handle to the counter `name`, created zeroed on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("counter registry poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// Handle to the histogram `name`, created empty on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("histogram registry poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// Current value of counter `name`; 0 when it was never touched.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("counter registry poisoned")
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.to_string(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// All histogram summaries, sorted by name.
+    pub fn histogram_summaries(&self) -> Vec<HistogramSummary> {
+        self.histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, h)| h.summarize(name))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_floor_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let h = Histogram::default();
+        // 90 fast observations (~1 µs), 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.50);
+        let p95 = h.quantile_ns(0.95);
+        let p99 = h.quantile_ns(0.99);
+        assert!(
+            (500..4_000).contains(&p50),
+            "p50 ≈ 1 µs bucket, got {p50}"
+        );
+        assert!(p95 >= 500_000, "p95 lands in the slow mode, got {p95}");
+        assert!(p99 >= 500_000);
+        assert_eq!(h.max_ns(), 1_000_000);
+        assert_eq!(h.sum_ns(), 90 * 1_000 + 10 * 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zero() {
+        let h = Histogram::default();
+        let s = h.summarize("empty");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn registry_is_lazy_and_shared() {
+        let r = Registry::new();
+        assert_eq!(r.counter_value("x"), 0);
+        r.counter("x").fetch_add(7, Ordering::Relaxed);
+        r.counter("x").fetch_add(1, Ordering::Relaxed);
+        assert_eq!(r.counter_value("x"), 8);
+        r.histogram("h").record(5);
+        assert_eq!(r.histogram("h").count(), 1);
+        let names: Vec<_> = r.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["x".to_string()]);
+    }
+}

@@ -67,13 +67,16 @@ pub fn signatures_isomorphic_metered(
     if lposet.len() != rposet.len() {
         return Ok(None);
     }
+    let mut span = meter.span("ontonomy.iso").with("classes", lcs.len());
     // Backtracking over class bijections with order- and
     // attribute-count pruning.
     let mut assignment: Vec<Option<usize>> = vec![None; lcs.len()];
     let mut used = vec![false; rcs.len()];
     if !assign(left, right, &lcs, &rcs, &mut assignment, &mut used, 0, meter)? {
+        span.record("found", false);
         return Ok(None);
     }
+    span.record("found", true);
     Ok(mapping_from_assignment(left, right, &lcs, &rcs, &assignment))
 }
 
@@ -134,6 +137,11 @@ pub fn signatures_isomorphic_parallel_governed(
         return Governed::Completed(mapping_from_assignment(left, right, &lcs, &rcs, &[]));
     }
     let candidates: Vec<usize> = (0..rcs.len()).collect();
+    let _span = budget
+        .tracer()
+        .span("ontonomy.iso.parallel")
+        .with("classes", lcs.len())
+        .with("threads", threads);
     let (lcs_ref, rcs_ref) = (&lcs, &rcs);
     // Per-candidate verdicts: `None` = no class bijection in this
     // subtree; `Some(opt)` = a bijection was found and `opt` is the

@@ -121,17 +121,28 @@ impl RewriteSystem {
         t: &Term,
         meter: &mut Meter,
     ) -> std::result::Result<Term, (Term, Interrupt)> {
+        let mut span = meter.span("osa.rewrite.nf");
         let mut cur = t.clone();
+        let mut steps = 0u64;
         loop {
             if let Err(i) = meter.charge(1) {
+                span.record("steps", steps);
                 if self.step(&cur).is_none() {
                     return Ok(cur);
                 }
+                span.record("interrupted", true);
                 return Err((cur, i));
             }
+            meter.count("osa.rewrite.step", 1);
             match self.step(&cur) {
-                Some(next) => cur = next,
-                None => return Ok(cur),
+                Some(next) => {
+                    steps += 1;
+                    cur = next;
+                }
+                None => {
+                    span.record("steps", steps);
+                    return Ok(cur);
+                }
             }
         }
     }
@@ -257,6 +268,7 @@ impl RewriteSystem {
         budget: &Budget,
     ) -> Governed<Option<CriticalPair>> {
         let mut meter = budget.meter();
+        let _span = meter.span("osa.confluence");
         for cp in self.critical_pairs() {
             match self.joinable_metered(&cp.left, &cp.right, &mut meter) {
                 Ok(true) => {}

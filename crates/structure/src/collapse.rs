@@ -85,6 +85,7 @@ pub fn structurally_indistinguishable_metered(
     depth: usize,
     meter: &mut Meter,
 ) -> Result<Option<Mapping>, Interrupt> {
+    let mut span = meter.span("structure.collapse.pair").with("depth", depth);
     let g1 = DefGraph::from_tbox(t1, voc, LabelMode::Anonymous);
     let g2 = DefGraph::from_tbox(t2, voc, LabelMode::Anonymous);
     let (n1, n2) = match (g1.node_of(c1), g2.node_of(c2)) {
@@ -96,13 +97,21 @@ pub fn structurally_indistinguishable_metered(
         _ => return Ok(None),
     };
     match find_isomorphism_metered(&n1, &n2, meter)? {
-        None => return Ok(None),
-        Some(m) if m.get(&start1) == Some(&start2) => return Ok(Some(m)),
-        Some(_) => {}
+        None => {
+            span.record("collapsed", false);
+            return Ok(None);
+        }
+        Some(m) if m.get(&start1) == Some(&start2) => {
+            span.record("collapsed", true);
+            return Ok(Some(m));
+        }
+        Some(_) => span.record("pinned_retry", true),
     }
     let n1p = pin(&n1, start1);
     let n2p = pin(&n2, start2);
-    find_isomorphism_metered(&n1p, &n2p, meter)
+    let m = find_isomorphism_metered(&n1p, &n2p, meter)?;
+    span.record("collapsed", m.is_some());
+    Ok(m)
 }
 
 /// Budget-governed indistinguishability test. On interrupt the partial
@@ -190,6 +199,10 @@ pub fn find_isomorphic_pairs_metered(
     meter: &mut Meter,
     out: &mut Vec<CollapseReport>,
 ) -> Result<(), Interrupt> {
+    let _span = meter
+        .span("structure.collapse.sweep")
+        .with("left_atoms", t1.atoms().len())
+        .with("right_atoms", t2.atoms().len());
     for c1 in t1.atoms() {
         for c2 in t2.atoms() {
             if let Some(mapping) =
@@ -228,6 +241,11 @@ pub fn find_isomorphic_pairs_parallel_governed(
         .into_iter()
         .flat_map(|c1| t2.atoms().into_iter().map(move |c2| (c1, c2)))
         .collect();
+    let _span = budget
+        .tracer()
+        .span("structure.collapse.parallel")
+        .with("pairs", pairs.len())
+        .with("threads", threads);
     let outcome = summa_exec::par_map(
         &pairs,
         budget,

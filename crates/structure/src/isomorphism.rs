@@ -43,8 +43,11 @@ pub fn find_isomorphism_metered(
     meter: &mut Meter,
 ) -> Result<Option<Mapping>, Interrupt> {
     if g1.n_nodes() != g2.n_nodes() || g1.n_edges() != g2.n_edges() {
+        // Size-pruned pairs never enter the search; keeping them out of
+        // the span stream keeps flamegraphs about actual backtracking.
         return Ok(None);
     }
+    let mut span = meter.span("structure.iso").with("nodes", g1.n_nodes());
     let n = g1.n_nodes();
     // Degree signatures for pruning: (label, out-degree, in-degree,
     // multiset of incident edge kinds).
@@ -57,6 +60,7 @@ pub fn find_isomorphism_metered(
         a.sort();
         b.sort();
         if a != b {
+            span.record("found", false);
             return Ok(None);
         }
     }
@@ -64,7 +68,9 @@ pub fn find_isomorphism_metered(
     let mut mapping: Vec<Option<usize>> = vec![None; n];
     let mut used: Vec<bool> = vec![false; n];
 
-    if backtrack(g1, g2, &sig1, &sig2, &mut mapping, &mut used, 0, meter)? {
+    let found = backtrack(g1, g2, &sig1, &sig2, &mut mapping, &mut used, 0, meter)?;
+    span.record("found", found);
+    if found {
         Ok(Some(complete_mapping(mapping)))
     } else {
         Ok(None)
@@ -201,6 +207,14 @@ pub fn find_isomorphism_parallel_governed(
     }
     // Candidate images for node 0, in sequential trial order.
     let candidates: Vec<usize> = (0..n).filter(|&c| sig1[0] == sig2[c]).collect();
+    // Service span on the calling thread; each worker's backtracking
+    // shows up in its own lane via the meter spans inside.
+    let _span = budget
+        .tracer()
+        .span("structure.iso.parallel")
+        .with("nodes", n)
+        .with("candidates", candidates.len())
+        .with("threads", threads);
     let sig1_ref = &sig1;
     let sig2_ref = &sig2;
     let outcome = summa_exec::par_map(
@@ -208,6 +222,7 @@ pub fn find_isomorphism_parallel_governed(
         budget,
         threads,
         |meter, _, &cand| -> Result<Option<Mapping>, Interrupt> {
+            let _span = meter.span("structure.iso.candidate").with("candidate", cand);
             meter.charge(1)?;
             let mut mapping: Vec<Option<usize>> = vec![None; n];
             let mut used: Vec<bool> = vec![false; n];

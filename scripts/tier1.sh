@@ -15,6 +15,15 @@ SUMMA_THREADS=1 cargo test -q
 echo "==> SUMMA_THREADS=4 cargo test -q"
 SUMMA_THREADS=4 cargo test -q
 
+# Trace lane: the observability suite must hold with the process-global
+# tracer enabled too, and the example must emit a Chrome trace that the
+# dependency-free validator accepts (it errors on empty traceEvents).
+echo "==> SUMMA_TRACE=1 trace lane"
+SUMMA_TRACE=1 SUMMA_THREADS=4 cargo test -q -p summa-core --test integration_obs
+(cd target && SUMMA_TRACE=1 cargo run -q -p summa-core --example trace_car_dog)
+test -s target/trace_car_dog.json
+echo "    trace_car_dog.json: valid, non-empty"
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace -- -D warnings"
     cargo clippy --workspace -- -D warnings
