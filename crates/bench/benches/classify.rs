@@ -1,0 +1,192 @@
+//! Brute-force vs enhanced-traversal classification.
+//!
+//! Like `parallel.rs` this bench is also a report generator: besides
+//! printing ns/iter it writes `BENCH_classify.json` at the workspace
+//! root, comparing the classical O(n²) subsumption grid
+//! (`classify_brute_force_governed`) against the enhanced traversal
+//! (`classify_enhanced_governed`: told-subsumer seeding, row
+//! satisfiability probes, top-down pruning) per workload — wall time
+//! *and* issued satisfiability calls, since the sat-call count is the
+//! machine-independent measure the traversal actually optimizes.
+//!
+//! Every instrumented run asserts the two hierarchies are
+//! byte-identical, and the diamond lattice additionally asserts the
+//! enhanced lane issues at most 25% of the brute-force sat calls (the
+//! acceptance target).
+//!
+//! `SUMMA_BENCH_SMOKE=1` shrinks the measurement window to one sample
+//! per lane so CI can validate the report format without paying for a
+//! full measurement.
+
+use criterion::{json_escape, Criterion};
+use std::fmt::Write as _;
+use summa_dl::classify::{
+    classify_brute_force_governed, classify_enhanced_governed, ClassifyStats,
+};
+use summa_dl::concept::Vocabulary;
+use summa_dl::generate;
+use summa_dl::tableau::Tableau;
+use summa_dl::tbox::TBox;
+use summa_guard::Budget;
+
+struct Workload {
+    name: &'static str,
+    voc: Vocabulary,
+    tbox: TBox,
+}
+
+fn workloads() -> Vec<Workload> {
+    // Same corpus as the parallel bench so the two reports are
+    // comparable: an incoherent pigeonhole TBox (every cell an
+    // exponential refutation — and every *row* unsatisfiable, the
+    // enhanced lane's best case), a random EL terminology, and a deep
+    // diamond lattice (127 atoms, the acceptance workload).
+    let (p_voc, p_tbox, _) = generate::pigeonhole_tbox(3, 2);
+    let (e_voc, e_tbox, _) = generate::random_el(12, 2, 16, 0x5EED);
+    let (d_voc, d_tbox, _) = generate::diamond(6);
+    vec![
+        Workload {
+            name: "pigeonhole",
+            voc: p_voc,
+            tbox: p_tbox,
+        },
+        Workload {
+            name: "random_el",
+            voc: e_voc,
+            tbox: e_tbox,
+        },
+        Workload {
+            name: "diamond",
+            voc: d_voc,
+            tbox: d_tbox,
+        },
+    ]
+}
+
+fn smoke() -> bool {
+    std::env::var("SUMMA_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let loads = workloads();
+    let mut c = Criterion::default();
+    {
+        let mut g = c.benchmark_group("classify_strategy");
+        g.sample_size(if smoke() { 1 } else { 10 });
+        for w in &loads {
+            g.bench_function(format!("{}/brute", w.name), |b| {
+                b.iter(|| {
+                    classify_brute_force_governed(
+                        &mut Tableau::new(&w.tbox, &w.voc),
+                        &w.tbox,
+                        &Budget::unlimited(),
+                    )
+                })
+            });
+            g.bench_function(format!("{}/enhanced", w.name), |b| {
+                b.iter(|| {
+                    classify_enhanced_governed(
+                        &mut Tableau::new(&w.tbox, &w.voc),
+                        &w.tbox,
+                        &Budget::unlimited(),
+                    )
+                })
+            });
+        }
+        g.finish();
+    }
+
+    // One instrumented run per workload and lane: sat-call counts, a
+    // byte-equality check between the hierarchies, and the diamond
+    // acceptance ratio.
+    let mut entries = Vec::new();
+    for w in &loads {
+        let budget = Budget::unlimited();
+        let (brute, brute_stats): (_, ClassifyStats) =
+            classify_brute_force_governed(&mut Tableau::new(&w.tbox, &w.voc), &w.tbox, &budget);
+        let (enhanced, enhanced_stats) =
+            classify_enhanced_governed(&mut Tableau::new(&w.tbox, &w.voc), &w.tbox, &budget);
+        let brute = brute.expect_completed("unlimited");
+        let enhanced = enhanced.expect_completed("unlimited");
+        assert_eq!(
+            brute, enhanced,
+            "enhanced hierarchy must be byte-identical to brute force"
+        );
+        let ratio = enhanced_stats.sat_tests as f64 / brute_stats.sat_tests.max(1) as f64;
+        if w.name == "diamond" {
+            assert!(
+                ratio <= 0.25,
+                "diamond acceptance: enhanced must issue ≤ 25% of brute-force \
+                 sat calls, got {:.1}% ({}/{})",
+                ratio * 100.0,
+                enhanced_stats.sat_tests,
+                brute_stats.sat_tests,
+            );
+        }
+
+        let brute_ns = c
+            .ns_per_iter("classify_strategy", &format!("{}/brute", w.name))
+            .expect("timed");
+        let enhanced_ns = c
+            .ns_per_iter("classify_strategy", &format!("{}/enhanced", w.name))
+            .expect("timed");
+        let speedup = brute_ns as f64 / enhanced_ns.max(1) as f64;
+        let atoms = w.tbox.atoms().len();
+        println!(
+            "  {:<12} {} atoms: sat calls {} -> {} ({:.1}%), pruned {}, speedup {:.2}x",
+            w.name,
+            atoms,
+            brute_stats.sat_tests,
+            enhanced_stats.sat_tests,
+            ratio * 100.0,
+            enhanced_stats.pruned,
+            speedup,
+        );
+        let mut e = String::new();
+        write!(
+            e,
+            "    {{\"name\": \"{}\", \"atoms\": {}, \"grid_cells\": {}, \
+             \"brute_force_ns\": {}, \"enhanced_ns\": {}, \"speedup\": {:.3}, \
+             \"brute_force_sat_tests\": {}, \"enhanced_sat_tests\": {}, \
+             \"enhanced_pruned\": {}, \"sat_call_ratio\": {:.4}}}",
+            json_escape(w.name),
+            atoms,
+            atoms * atoms,
+            brute_ns,
+            enhanced_ns,
+            speedup,
+            brute_stats.sat_tests,
+            enhanced_stats.sat_tests,
+            enhanced_stats.pruned,
+            ratio,
+        )
+        .expect("write to string");
+        entries.push(e);
+    }
+
+    // Provenance header, mirroring BENCH_parallel.json so downstream
+    // tooling parses both the same way.
+    let summa_threads = match std::env::var("SUMMA_THREADS") {
+        Ok(v) => format!("\"{}\"", json_escape(&v)),
+        Err(_) => "null".to_string(),
+    };
+    let caveat = if smoke() {
+        ",\n  \"caveat\": \"smoke mode (SUMMA_BENCH_SMOKE=1): one sample per lane, wall times are format placeholders; sat-call counts are exact either way\"".to_string()
+    } else {
+        String::new()
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"classification_strategies\",\n  \"host_cpus\": {},\n  \"summa_threads_env\": {},\n  \"generated_at\": \"{}\"{},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        host_cpus,
+        summa_threads,
+        summa_bench::iso8601_utc_now(),
+        caveat,
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_classify.json");
+    std::fs::write(path, &json).expect("write BENCH_classify.json");
+    println!("\nwrote {path}");
+}

@@ -15,12 +15,18 @@
 //! (parallel ≡ sequential) hold bit-for-bit.
 
 use crate::concept::Concept;
+use crate::fxhash::{FxBuildHasher, FxHasher};
 use crate::tbox::TBox;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+
+/// Shard maps are keyed with the Fx mixer too: the keys are our own
+/// structures, not attacker input, and lookups sit on the hot path of
+/// every shared-cache probe.
+type Shard = HashMap<(u64, Concept), bool, FxBuildHasher>;
 
 /// Number of independent shards. A power of two so shard selection is
 /// a mask; 16 is plenty for the worker counts std::thread::scope will
@@ -46,7 +52,7 @@ pub fn tbox_fingerprint(tbox: &TBox) -> u64 {
 /// threads. Cheap to clone behind an `Arc`; all methods take `&self`.
 #[derive(Debug, Default)]
 pub struct SatCache {
-    shards: Vec<RwLock<HashMap<(u64, Concept), bool>>>,
+    shards: Vec<RwLock<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -54,14 +60,24 @@ pub struct SatCache {
 impl SatCache {
     pub fn new() -> Self {
         SatCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, tbox: u64, c: &Concept) -> &RwLock<HashMap<(u64, Concept), bool>> {
-        let mut h = DefaultHasher::new();
+    /// Shard selection uses the dependency-free Fx mixer
+    /// ([`crate::fxhash`]) rather than SipHash: it is an order of
+    /// magnitude cheaper per probe, and — having no per-process random
+    /// key — it is *stable*, so a given `(fingerprint, concept)` pair
+    /// always lands in the same shard across runs and processes (a
+    /// property the key-stability unit test pins with golden values).
+    /// The TBox *fingerprint* itself keeps its original `DefaultHasher`
+    /// semantics; only the shard index changed hash functions.
+    fn shard(&self, tbox: u64, c: &Concept) -> &RwLock<Shard> {
+        let mut h = FxHasher::default();
         tbox.hash(&mut h);
         c.hash(&mut h);
         &self.shards[(h.finish() as usize) & (SHARDS - 1)]
@@ -152,6 +168,36 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_keys_are_stable() {
+        use crate::fxhash::fx_hash;
+        // The Fx mixer has no per-process random state, so these values
+        // are golden: if they ever change, shard assignment changed and
+        // any persisted assumptions about key placement break. (SipHash
+        // via `DefaultHasher` could never pass this test — its key is
+        // randomized per process in principle, and its output is not
+        // part of std's stability guarantees.)
+        assert_eq!(fx_hash(&42u64), 0x5e77_c80c_6b95_bc72);
+        assert_eq!(fx_hash(&(7u64, 9u64)), 0x899b_8573_6757_f606);
+
+        // And the composite (fingerprint, concept) shard key is stable
+        // across independently constructed caches: same key, same
+        // shard, every time.
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let deep = Concept::not(Concept::and(vec![
+            a.clone(),
+            Concept::exists(voc.role("r"), a.clone()),
+        ]));
+        let c1 = SatCache::new();
+        let c2 = SatCache::new();
+        for (fp, c) in [(0u64, &a), (7, &a), (7, &deep), (u64::MAX, &deep)] {
+            let s1 = c1.shard(fp, c) as *const _ as usize - c1.shards.as_ptr() as usize;
+            let s2 = c2.shard(fp, c) as *const _ as usize - c2.shards.as_ptr() as usize;
+            assert_eq!(s1, s2, "shard index must be process-independent");
+        }
     }
 
     #[test]

@@ -338,6 +338,430 @@ impl Concept {
     }
 }
 
+/// Handle to a hash-consed concept in an [`Interner`].
+///
+/// Two handles from the *same* interner are equal iff the concepts
+/// they denote are structurally equal, so equality and hashing are
+/// O(1) — the point of interning. The derived `Ord` is by allocation
+/// id (an arbitrary but stable total order, used for set storage
+/// inside the tableau); for the *structural* order matching
+/// [`Concept`]'s derived `Ord`, use [`Interner::cmp_structural`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConceptRef(u32);
+
+impl ConceptRef {
+    /// The raw arena index (exposed for diagnostics only).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// One hash-consed node: a [`Concept`] constructor whose children are
+/// handles instead of boxed subtrees. Variant order mirrors `Concept`
+/// exactly — [`Interner::cmp_structural`] depends on it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CNode {
+    /// ⊤.
+    Top,
+    /// ⊥.
+    Bottom,
+    /// An atomic concept name.
+    Atom(ConceptId),
+    /// ¬C.
+    Not(ConceptRef),
+    /// C₁ ⊓ … ⊓ Cₙ.
+    And(Box<[ConceptRef]>),
+    /// C₁ ⊔ … ⊔ Cₙ.
+    Or(Box<[ConceptRef]>),
+    /// ∃r.C.
+    Exists(RoleId, ConceptRef),
+    /// ∀r.C.
+    Forall(RoleId, ConceptRef),
+    /// ≥n r.C.
+    AtLeast(u32, RoleId, ConceptRef),
+    /// ≤n r.C.
+    AtMost(u32, RoleId, ConceptRef),
+}
+
+impl CNode {
+    /// Variant rank matching `Concept`'s derived discriminant order.
+    fn rank(&self) -> u8 {
+        match self {
+            CNode::Top => 0,
+            CNode::Bottom => 1,
+            CNode::Atom(_) => 2,
+            CNode::Not(_) => 3,
+            CNode::And(_) => 4,
+            CNode::Or(_) => 5,
+            CNode::Exists(_, _) => 6,
+            CNode::Forall(_, _) => 7,
+            CNode::AtLeast(_, _, _) => 8,
+            CNode::AtMost(_, _, _) => 9,
+        }
+    }
+}
+
+/// A hash-consing arena for concepts.
+///
+/// Every structurally-distinct concept maps to one small
+/// [`ConceptRef`] handle, assigned at construction. The tableau's
+/// entire expansion loop then runs on `u32` handles: label sets are
+/// sets of words, equality blocking compares word sets, and the
+/// per-reasoner satisfiability memo keys on a single handle — no
+/// deep-tree hashing or `Box`/`Vec` cloning anywhere on the hot path.
+///
+/// NNF is computed **once per handle** and memoized (`nnf`), as is the
+/// NNF of a handle's negation (`neg_nnf`, what the choose-rule needs),
+/// so repeated queries against the same TBox never re-normalize.
+///
+/// Handles are interner-local: two interners assign ids in their own
+/// arrival order. Anything that crosses reasoners (the shared
+/// [`SatCache`](crate::cache::SatCache)) therefore keys on the
+/// externalized structural form, which [`Interner::externalize`]
+/// reproduces canonically — the handle-level smart constructors sort
+/// with [`Interner::cmp_structural`], which matches `Concept`'s
+/// derived `Ord` exactly, so `externalize(nnf(intern(c))) == c.nnf()`
+/// (a property the unit tests pin).
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    nodes: Vec<CNode>,
+    index: crate::fxhash::FxHashMap<CNode, u32>,
+    nnf_memo: crate::fxhash::FxHashMap<ConceptRef, ConceptRef>,
+    neg_nnf_memo: crate::fxhash::FxHashMap<ConceptRef, ConceptRef>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Interner {
+    /// A fresh arena with ⊤ and ⊥ pre-interned.
+    pub fn new() -> Self {
+        let mut i = Interner::default();
+        let top = i.mk(CNode::Top);
+        let bottom = i.mk(CNode::Bottom);
+        debug_assert_eq!(top, ConceptRef(0));
+        debug_assert_eq!(bottom, ConceptRef(1));
+        // The constructor probes are bookkeeping, not reuse.
+        i.hits = 0;
+        i.misses = 0;
+        i
+    }
+
+    /// Handle for ⊤.
+    pub fn top(&self) -> ConceptRef {
+        ConceptRef(0)
+    }
+
+    /// Handle for ⊥.
+    pub fn bottom(&self) -> ConceptRef {
+        ConceptRef(1)
+    }
+
+    /// The node a handle denotes.
+    #[inline]
+    pub fn node(&self, c: ConceptRef) -> &CNode {
+        &self.nodes[c.0 as usize]
+    }
+
+    /// Number of distinct concepts interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only ⊤/⊥ are present.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// Hash-cons lookups that found an existing node.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hash-cons lookups that allocated a new node.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hash-cons one node: reuse the existing handle when the exact
+    /// node was seen before, allocate otherwise.
+    fn mk(&mut self, node: CNode) -> ConceptRef {
+        if let Some(&id) = self.index.get(&node) {
+            self.hits += 1;
+            return ConceptRef(id);
+        }
+        self.misses += 1;
+        let id = u32::try_from(self.nodes.len()).expect("interner overflow");
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        ConceptRef(id)
+    }
+
+    /// Intern an atomic concept.
+    pub fn atom(&mut self, a: ConceptId) -> ConceptRef {
+        self.mk(CNode::Atom(a))
+    }
+
+    /// ¬C with double-negation elimination (mirrors [`Concept::not`]).
+    pub fn not(&mut self, c: ConceptRef) -> ConceptRef {
+        match *self.node(c) {
+            CNode::Not(inner) => inner,
+            CNode::Top => self.bottom(),
+            CNode::Bottom => self.top(),
+            _ => self.mk(CNode::Not(c)),
+        }
+    }
+
+    /// n-ary conjunction (mirrors [`Concept::and`]: flatten one level,
+    /// drop ⊤, collapse on ⊥, sort structurally, dedup).
+    pub fn and(&mut self, cs: Vec<ConceptRef>) -> ConceptRef {
+        let mut flat: Vec<ConceptRef> = Vec::with_capacity(cs.len());
+        for c in cs {
+            match self.node(c) {
+                CNode::And(inner) => flat.extend(inner.iter().copied()),
+                CNode::Top => {}
+                CNode::Bottom => return self.bottom(),
+                _ => flat.push(c),
+            }
+        }
+        flat.sort_by(|&a, &b| self.cmp_structural(a, b));
+        flat.dedup();
+        match flat.len() {
+            0 => self.top(),
+            1 => flat[0],
+            _ => self.mk(CNode::And(flat.into_boxed_slice())),
+        }
+    }
+
+    /// n-ary disjunction (mirrors [`Concept::or`]).
+    pub fn or(&mut self, cs: Vec<ConceptRef>) -> ConceptRef {
+        let mut flat: Vec<ConceptRef> = Vec::with_capacity(cs.len());
+        for c in cs {
+            match self.node(c) {
+                CNode::Or(inner) => flat.extend(inner.iter().copied()),
+                CNode::Bottom => {}
+                CNode::Top => return self.top(),
+                _ => flat.push(c),
+            }
+        }
+        flat.sort_by(|&a, &b| self.cmp_structural(a, b));
+        flat.dedup();
+        match flat.len() {
+            0 => self.bottom(),
+            1 => flat[0],
+            _ => self.mk(CNode::Or(flat.into_boxed_slice())),
+        }
+    }
+
+    /// ∃r.C.
+    pub fn exists(&mut self, r: RoleId, c: ConceptRef) -> ConceptRef {
+        self.mk(CNode::Exists(r, c))
+    }
+
+    /// ∀r.C.
+    pub fn forall(&mut self, r: RoleId, c: ConceptRef) -> ConceptRef {
+        self.mk(CNode::Forall(r, c))
+    }
+
+    /// ≥n r.C.
+    pub fn at_least(&mut self, n: u32, r: RoleId, c: ConceptRef) -> ConceptRef {
+        self.mk(CNode::AtLeast(n, r, c))
+    }
+
+    /// ≤n r.C.
+    pub fn at_most(&mut self, n: u32, r: RoleId, c: ConceptRef) -> ConceptRef {
+        self.mk(CNode::AtMost(n, r, c))
+    }
+
+    /// Intern a concept tree as-is (structure-preserving: no
+    /// normalization beyond what the tree already carries, so
+    /// `externalize(intern(c)) == c`).
+    pub fn intern(&mut self, c: &Concept) -> ConceptRef {
+        match c {
+            Concept::Top => self.top(),
+            Concept::Bottom => self.bottom(),
+            Concept::Atom(a) => self.mk(CNode::Atom(*a)),
+            Concept::Not(x) => {
+                let h = self.intern(x);
+                self.mk(CNode::Not(h))
+            }
+            Concept::And(xs) => {
+                let hs: Vec<ConceptRef> = xs.iter().map(|x| self.intern(x)).collect();
+                self.mk(CNode::And(hs.into_boxed_slice()))
+            }
+            Concept::Or(xs) => {
+                let hs: Vec<ConceptRef> = xs.iter().map(|x| self.intern(x)).collect();
+                self.mk(CNode::Or(hs.into_boxed_slice()))
+            }
+            Concept::Exists(r, x) => {
+                let h = self.intern(x);
+                self.mk(CNode::Exists(*r, h))
+            }
+            Concept::Forall(r, x) => {
+                let h = self.intern(x);
+                self.mk(CNode::Forall(*r, h))
+            }
+            Concept::AtLeast(n, r, x) => {
+                let h = self.intern(x);
+                self.mk(CNode::AtLeast(*n, *r, h))
+            }
+            Concept::AtMost(n, r, x) => {
+                let h = self.intern(x);
+                self.mk(CNode::AtMost(*n, *r, h))
+            }
+        }
+    }
+
+    /// Rebuild the concept tree a handle denotes.
+    pub fn externalize(&self, c: ConceptRef) -> Concept {
+        match self.node(c) {
+            CNode::Top => Concept::Top,
+            CNode::Bottom => Concept::Bottom,
+            CNode::Atom(a) => Concept::Atom(*a),
+            CNode::Not(x) => Concept::Not(Box::new(self.externalize(*x))),
+            CNode::And(xs) => {
+                Concept::And(xs.iter().map(|&x| self.externalize(x)).collect())
+            }
+            CNode::Or(xs) => {
+                Concept::Or(xs.iter().map(|&x| self.externalize(x)).collect())
+            }
+            CNode::Exists(r, x) => Concept::Exists(*r, Box::new(self.externalize(*x))),
+            CNode::Forall(r, x) => Concept::Forall(*r, Box::new(self.externalize(*x))),
+            CNode::AtLeast(n, r, x) => {
+                Concept::AtLeast(*n, *r, Box::new(self.externalize(*x)))
+            }
+            CNode::AtMost(n, r, x) => {
+                Concept::AtMost(*n, *r, Box::new(self.externalize(*x)))
+            }
+        }
+    }
+
+    /// Structural comparison of two handles, identical to the derived
+    /// `Ord` on the externalized [`Concept`] trees. Equal handles
+    /// short-circuit (hash-consing makes structural equality a word
+    /// compare), so the recursion only descends where trees differ.
+    pub fn cmp_structural(&self, a: ConceptRef, b: ConceptRef) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if a == b {
+            return Ordering::Equal;
+        }
+        let (na, nb) = (self.node(a), self.node(b));
+        let by_rank = na.rank().cmp(&nb.rank());
+        if by_rank != Ordering::Equal {
+            return by_rank;
+        }
+        match (na, nb) {
+            (CNode::Atom(x), CNode::Atom(y)) => x.cmp(y),
+            (CNode::Not(x), CNode::Not(y)) => self.cmp_structural(*x, *y),
+            (CNode::And(xs), CNode::And(ys)) | (CNode::Or(xs), CNode::Or(ys)) => {
+                for (x, y) in xs.iter().zip(ys.iter()) {
+                    let o = self.cmp_structural(*x, *y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                xs.len().cmp(&ys.len())
+            }
+            (CNode::Exists(r1, x), CNode::Exists(r2, y))
+            | (CNode::Forall(r1, x), CNode::Forall(r2, y)) => {
+                r1.cmp(r2).then_with(|| self.cmp_structural(*x, *y))
+            }
+            (CNode::AtLeast(n1, r1, x), CNode::AtLeast(n2, r2, y))
+            | (CNode::AtMost(n1, r1, x), CNode::AtMost(n2, r2, y)) => n1
+                .cmp(n2)
+                .then_with(|| r1.cmp(r2))
+                .then_with(|| self.cmp_structural(*x, *y)),
+            // Ranks matched above, so the variants match.
+            _ => unreachable!("rank-equal nodes must share a variant"),
+        }
+    }
+
+    /// Negation normal form of a handle, memoized per handle.
+    pub fn nnf(&mut self, c: ConceptRef) -> ConceptRef {
+        if let Some(&m) = self.nnf_memo.get(&c) {
+            return m;
+        }
+        let node = self.node(c).clone();
+        let out = match node {
+            CNode::Top | CNode::Bottom | CNode::Atom(_) => c,
+            CNode::Not(x) => self.neg_nnf(x),
+            CNode::And(xs) => {
+                let ys: Vec<ConceptRef> = xs.iter().map(|&x| self.nnf(x)).collect();
+                self.and(ys)
+            }
+            CNode::Or(xs) => {
+                let ys: Vec<ConceptRef> = xs.iter().map(|&x| self.nnf(x)).collect();
+                self.or(ys)
+            }
+            CNode::Exists(r, x) => {
+                let y = self.nnf(x);
+                self.exists(r, y)
+            }
+            CNode::Forall(r, x) => {
+                let y = self.nnf(x);
+                self.forall(r, y)
+            }
+            CNode::AtLeast(n, r, x) => {
+                let y = self.nnf(x);
+                self.at_least(n, r, y)
+            }
+            CNode::AtMost(n, r, x) => {
+                let y = self.nnf(x);
+                self.at_most(n, r, y)
+            }
+        };
+        self.nnf_memo.insert(c, out);
+        out
+    }
+
+    /// NNF of ¬C, memoized per handle — the choose-rule's query, and
+    /// the recursion partner of [`Interner::nnf`] (together they mirror
+    /// [`Concept::nnf`] exactly).
+    pub fn neg_nnf(&mut self, c: ConceptRef) -> ConceptRef {
+        if let Some(&m) = self.neg_nnf_memo.get(&c) {
+            return m;
+        }
+        let node = self.node(c).clone();
+        let out = match node {
+            CNode::Top => self.bottom(),
+            CNode::Bottom => self.top(),
+            CNode::Atom(_) => self.mk(CNode::Not(c)),
+            CNode::Not(x) => self.nnf(x),
+            CNode::And(xs) => {
+                let ys: Vec<ConceptRef> = xs.iter().map(|&x| self.neg_nnf(x)).collect();
+                self.or(ys)
+            }
+            CNode::Or(xs) => {
+                let ys: Vec<ConceptRef> = xs.iter().map(|&x| self.neg_nnf(x)).collect();
+                self.and(ys)
+            }
+            CNode::Exists(r, x) => {
+                let y = self.neg_nnf(x);
+                self.forall(r, y)
+            }
+            CNode::Forall(r, x) => {
+                let y = self.neg_nnf(x);
+                self.exists(r, y)
+            }
+            // ¬(≥n r.C) = ≤(n−1) r.C ; ¬(≥0 r.C) = ⊥
+            CNode::AtLeast(n, r, x) => {
+                if n == 0 {
+                    self.bottom()
+                } else {
+                    let y = self.nnf(x);
+                    self.at_most(n - 1, r, y)
+                }
+            }
+            // ¬(≤n r.C) = ≥(n+1) r.C
+            CNode::AtMost(n, r, x) => {
+                let y = self.nnf(x);
+                self.at_least(n + 1, r, y)
+            }
+        };
+        self.neg_nnf_memo.insert(c, out);
+        out
+    }
+}
+
 /// Pretty-printer for [`Concept`].
 pub struct ConceptDisplay<'a> {
     c: &'a Concept,
@@ -539,5 +963,114 @@ mod tests {
         ]);
         let s = format!("{}", c.display(&v));
         assert!(s.contains('A') && s.contains("∃r.B"));
+    }
+
+    /// A small corpus of structurally varied concepts exercising every
+    /// constructor, nesting, and normalization edge case.
+    fn interner_corpus() -> Vec<Concept> {
+        let (_v, a, b, r) = voc();
+        vec![
+            Concept::Top,
+            Concept::Bottom,
+            Concept::atom(a),
+            Concept::not(Concept::atom(a)),
+            Concept::not(Concept::not(Concept::atom(b))),
+            Concept::and(vec![Concept::atom(b), Concept::atom(a)]),
+            Concept::or(vec![Concept::atom(a), Concept::Bottom]),
+            Concept::exists(r, Concept::and(vec![Concept::atom(a), Concept::atom(b)])),
+            Concept::forall(r, Concept::or(vec![Concept::atom(a), Concept::atom(b)])),
+            Concept::at_least(2, r, Concept::atom(a)),
+            Concept::at_most(0, r, Concept::atom(b)),
+            Concept::not(Concept::and(vec![
+                Concept::exists(r, Concept::atom(a)),
+                Concept::forall(r, Concept::not(Concept::atom(b))),
+                Concept::at_least(3, r, Concept::atom(a)),
+                Concept::at_most(1, r, Concept::atom(b)),
+            ])),
+            Concept::not(Concept::at_least(0, r, Concept::atom(a))),
+            Concept::not(Concept::or(vec![
+                Concept::Top,
+                Concept::exists(r, Concept::not(Concept::atom(a))),
+            ])),
+            Concept::exactly(2, r, Concept::not(Concept::atom(a))),
+        ]
+    }
+
+    #[test]
+    fn intern_externalize_round_trips() {
+        let mut i = Interner::new();
+        for c in interner_corpus() {
+            let h = i.intern(&c);
+            assert_eq!(i.externalize(h), c, "round trip for {c:?}");
+        }
+    }
+
+    #[test]
+    fn interning_is_hash_consed() {
+        let mut i = Interner::new();
+        let corpus = interner_corpus();
+        let first: Vec<ConceptRef> = corpus.iter().map(|c| i.intern(c)).collect();
+        let len = i.len();
+        let second: Vec<ConceptRef> = corpus.iter().map(|c| i.intern(c)).collect();
+        assert_eq!(first, second, "same structure must yield same handle");
+        assert_eq!(i.len(), len, "re-interning must not allocate");
+        assert!(i.hits() > 0);
+    }
+
+    #[test]
+    fn handle_nnf_matches_concept_nnf() {
+        let mut i = Interner::new();
+        for c in interner_corpus() {
+            let h = i.intern(&c);
+            let n = i.nnf(h);
+            assert_eq!(
+                i.externalize(n),
+                c.nnf(),
+                "externalized handle NNF must equal Concept::nnf for {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn handle_neg_nnf_matches_negated_concept_nnf() {
+        let mut i = Interner::new();
+        for c in interner_corpus() {
+            let h = i.intern(&c);
+            let n = i.neg_nnf(h);
+            assert_eq!(
+                i.externalize(n),
+                Concept::not(c.clone()).nnf(),
+                "neg_nnf must equal nnf of the negation for {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cmp_structural_matches_derived_ord() {
+        let mut i = Interner::new();
+        let corpus = interner_corpus();
+        let handles: Vec<ConceptRef> = corpus.iter().map(|c| i.intern(c)).collect();
+        for (x, hx) in corpus.iter().zip(&handles) {
+            for (y, hy) in corpus.iter().zip(&handles) {
+                assert_eq!(
+                    i.cmp_structural(*hx, *hy),
+                    x.cmp(y),
+                    "structural order must match Ord for {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nnf_is_memoized_per_handle() {
+        let mut i = Interner::new();
+        let (_v, a, _b, r) = voc();
+        let c = Concept::not(Concept::exists(r, Concept::atom(a)));
+        let h = i.intern(&c);
+        let n1 = i.nnf(h);
+        let misses = i.misses();
+        let n2 = i.nnf(h);
+        assert_eq!(n1, n2);
+        assert_eq!(i.misses(), misses, "second nnf must not build nodes");
     }
 }

@@ -340,7 +340,9 @@ impl ElClassifier {
             Some(&a) => a,
             None => return vec![],
         };
-        let set = self.subsumers[a as usize].clone();
+        // Borrow the saturated set in place — `subsumers` and `user`
+        // are distinct fields, so no clone is needed to walk both.
+        let set = &self.subsumers[a as usize];
         self.user
             .iter()
             .filter(|(_, &atom)| set.contains(&atom))

@@ -1,0 +1,119 @@
+//! A dependency-free FxHash-style hasher.
+//!
+//! `std`'s `DefaultHasher` is SipHash-1-3 — keyed, DoS-resistant, and
+//! an order of magnitude slower than needed for interning tables and
+//! shard selection, where the keys are machine words or short
+//! structures produced by our own code rather than attacker-controlled
+//! input. This is the classic multiply-rotate-xor mixer popularized by
+//! Firefox and rustc (`FxHasher`), reimplemented here so the workspace
+//! stays dependency-free.
+//!
+//! The function is **fixed**: no per-process random state, so a key
+//! always lands in the same shard across runs and across processes.
+//! The cache satellite's key-stability unit test pins that property
+//! with golden values (see `cache.rs`).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash family (a 64-bit odd
+/// constant close to 2^64 / φ, giving good avalanche under
+/// `rotate ^ mul`).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The mixer state. One `u64`, folded a word at a time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            // Fold the length in with the tail so "ab" and "ab\0" hash
+            // differently.
+            self.add_word(u64::from_le_bytes(tail) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the Fx mixer.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// One-shot convenience: hash a value with the Fx mixer.
+pub fn fx_hash<T: std::hash::Hash + ?Sized>(t: &T) -> u64 {
+    let mut h = FxHasher::default();
+    t.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(fx_hash(&42u64), fx_hash(&42u64));
+        assert_eq!(fx_hash(&"hello"), fx_hash(&"hello"));
+        assert_ne!(fx_hash(&42u64), fx_hash(&43u64));
+    }
+
+    #[test]
+    fn tail_bytes_are_length_sensitive() {
+        // Same prefix, different length: the length fold must separate
+        // them even though the zero-padded words coincide.
+        assert_ne!(fx_hash(&[1u8, 2, 3][..]), fx_hash(&[1u8, 2, 3, 0][..]));
+    }
+
+    #[test]
+    fn maps_with_fx_hasher_behave() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&1000));
+    }
+}

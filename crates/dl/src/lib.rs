@@ -52,6 +52,7 @@ pub mod concept;
 pub mod corpus;
 pub mod el;
 pub mod error;
+pub mod fxhash;
 pub mod generate;
 pub mod parser;
 pub mod realize;
@@ -62,8 +63,11 @@ pub mod tbox;
 pub mod prelude {
     pub use crate::abox::{ABox, Individual};
     pub use crate::cache::{tbox_fingerprint, SatCache};
-    pub use crate::classify::{classify_parallel_governed, ClassHierarchy, Classifier};
-    pub use crate::concept::{Concept, ConceptId, RoleId, Vocabulary};
+    pub use crate::classify::{
+        classify_brute_force_governed, classify_enhanced_governed, classify_parallel_governed,
+        ClassHierarchy, ClassifyStats, Classifier,
+    };
+    pub use crate::concept::{CNode, Concept, ConceptId, ConceptRef, Interner, RoleId, Vocabulary};
     pub use crate::corpus::{animals_tbox, animals_tbox_repaired, vehicles_tbox, PaperVocab};
     pub use crate::el::ElClassifier;
     pub use crate::error::DlError;

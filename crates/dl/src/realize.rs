@@ -26,19 +26,36 @@ pub struct Realization {
 }
 
 impl Realization {
-    /// All entailed named concepts of an individual.
+    /// All entailed named concepts of an individual, as an owned set.
+    /// Prefer [`Realization::types_ref`] when a borrow will do — this
+    /// clones the whole `BTreeSet` per call.
     pub fn types_of(&self, a: Individual) -> BTreeSet<ConceptId> {
         self.types.get(&a).cloned().unwrap_or_default()
     }
 
-    /// The most specific entailed named concepts of an individual.
+    /// Borrowing accessor for an individual's entailed types: `None`
+    /// when the individual was not realized (undecided under an
+    /// interrupted budget, or simply unknown).
+    pub fn types_ref(&self, a: Individual) -> Option<&BTreeSet<ConceptId>> {
+        self.types.get(&a)
+    }
+
+    /// The most specific entailed named concepts of an individual, as
+    /// an owned set. Prefer [`Realization::most_specific_ref`] when a
+    /// borrow will do.
     pub fn most_specific_of(&self, a: Individual) -> BTreeSet<ConceptId> {
         self.most_specific.get(&a).cloned().unwrap_or_default()
     }
 
-    /// Is `KB ⊨ C(a)` for the named concept `C`?
+    /// Borrowing accessor for an individual's most specific types.
+    pub fn most_specific_ref(&self, a: Individual) -> Option<&BTreeSet<ConceptId>> {
+        self.most_specific.get(&a)
+    }
+
+    /// Is `KB ⊨ C(a)` for the named concept `C`? Clone-free membership
+    /// test.
     pub fn is_type(&self, a: Individual, c: ConceptId) -> bool {
-        self.types_of(a).contains(&c)
+        self.types_ref(a).is_some_and(|s| s.contains(&c))
     }
 
     /// Render per-individual listings.

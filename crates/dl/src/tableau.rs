@@ -16,8 +16,9 @@
 
 use crate::abox::ABox;
 use crate::cache::{tbox_fingerprint, SatCache};
-use crate::concept::{Concept, RoleId, Vocabulary};
+use crate::concept::{CNode, Concept, ConceptRef, Interner, RoleId, Vocabulary};
 use crate::error::{DlError, Result};
+use crate::fxhash::FxHashMap;
 use crate::tbox::TBox;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -49,20 +50,33 @@ fn governed_outcome<T>(r: std::result::Result<T, Interrupt>) -> Governed<T> {
 }
 
 /// A tableau reasoner bound to one TBox.
+///
+/// All concept manipulation inside the reasoner runs on hash-consed
+/// [`ConceptRef`] handles from a reasoner-local [`Interner`]: node
+/// labels are sets of `u32` handles, equality blocking compares word
+/// sets, rule dispatch matches on the arena node, and the local
+/// satisfiability memo keys on a single handle — no deep-tree hashing
+/// or `Box`/`Vec` cloning anywhere in the expansion loop. Trees are
+/// rebuilt (`externalize`) only at the shared-cache boundary, because
+/// handles are interner-local while the [`SatCache`] is shared across
+/// reasoners with different interning histories.
 #[derive(Debug, Clone)]
 pub struct Tableau {
+    /// Hash-consing arena all handles below point into.
+    interner: Interner,
     /// Universal constraints: internalized GCIs in NNF (only those not
     /// absorbed below).
-    universal: Vec<Concept>,
+    universal: Vec<ConceptRef>,
     /// Absorbed axioms `A ⊑ C`: applied lazily when the atom `A`
     /// appears in a node label (the standard absorption optimization —
     /// sound and complete, and avoids one disjunction per GCI per
     /// node).
-    absorbed: BTreeMap<crate::concept::ConceptId, Vec<Concept>>,
+    absorbed: BTreeMap<crate::concept::ConceptId, Vec<ConceptRef>>,
     /// Per-call node budget.
     budget: usize,
-    /// Memoized satisfiability results keyed by (NNF) input concept.
-    cache: BTreeMap<Concept, bool>,
+    /// Memoized satisfiability results keyed by the handle of the NNF
+    /// input concept.
+    cache: FxHashMap<ConceptRef, bool>,
     /// Optional cross-reasoner cache shared with sibling workers; only
     /// completed answers are published, so sharing never changes any
     /// result.
@@ -70,11 +84,14 @@ pub struct Tableau {
     /// Normalized-TBox fingerprint keying this reasoner's entries in
     /// the shared cache.
     fingerprint: u64,
+    /// Interner hits already flowed into the `dl.intern.hits` counter
+    /// (the counter reports deltas at each sat-call boundary).
+    intern_hits_reported: u64,
 }
 
 #[derive(Debug, Clone)]
 struct Node {
-    label: BTreeSet<Concept>,
+    label: BTreeSet<ConceptRef>,
     /// Outgoing edges: (role, child index). Multiple edges to the same
     /// child are allowed after merges.
     edges: Vec<(RoleId, usize)>,
@@ -100,7 +117,7 @@ impl State {
         }
     }
 
-    fn add_node(&mut self, label: BTreeSet<Concept>, parent: Option<usize>) -> usize {
+    fn add_node(&mut self, label: BTreeSet<ConceptRef>, parent: Option<usize>) -> usize {
         self.nodes.push(Node {
             label,
             edges: vec![],
@@ -134,34 +151,35 @@ impl State {
     }
 
     /// Does the label of `x` directly clash?
-    fn has_clash(&self, x: usize) -> bool {
+    fn has_clash(&self, x: usize, it: &Interner) -> bool {
         let l = &self.nodes[x].label;
-        if l.contains(&Concept::Bottom) {
+        if l.contains(&it.bottom()) {
             return true;
         }
-        for c in l {
-            if let Concept::Not(inner) = c {
-                if l.contains(inner) {
+        for &c in l {
+            match it.node(c) {
+                CNode::Not(inner) if l.contains(inner) => {
                     return true;
                 }
-            }
-            // ≤n r.C clash: more than n pairwise-distinct r-successors
-            // containing C.
-            if let Concept::AtMost(n, r, cc) = c {
-                let with_c: Vec<usize> = self
-                    .successors(x, *r)
-                    .into_iter()
-                    .filter(|&y| self.nodes[y].label.contains(cc.as_ref()))
-                    .collect();
-                if with_c.len() > *n as usize {
-                    // clash only if no two of them are mergeable
-                    let all_distinct = with_c.iter().enumerate().all(|(i, &a)| {
-                        with_c[i + 1..].iter().all(|&b| self.are_distinct(a, b))
-                    });
-                    if all_distinct {
-                        return true;
+                // ≤n r.C clash: more than n pairwise-distinct
+                // r-successors containing C.
+                CNode::AtMost(n, r, cc) => {
+                    let with_c: Vec<usize> = self
+                        .successors(x, *r)
+                        .into_iter()
+                        .filter(|&y| self.nodes[y].label.contains(cc))
+                        .collect();
+                    if with_c.len() > *n as usize {
+                        // clash only if no two of them are mergeable
+                        let all_distinct = with_c.iter().enumerate().all(|(i, &a)| {
+                            with_c[i + 1..].iter().all(|&b| self.are_distinct(a, b))
+                        });
+                        if all_distinct {
+                            return true;
+                        }
                     }
                 }
+                _ => {}
             }
         }
         false
@@ -183,7 +201,7 @@ impl State {
     /// Merge node `b` into node `a` (siblings under the ≤-rule): union
     /// labels, move edges, rewire incoming edges, kill `b`.
     fn merge(&mut self, a: usize, b: usize) {
-        let blabel: Vec<Concept> = self.nodes[b].label.iter().cloned().collect();
+        let blabel: Vec<ConceptRef> = self.nodes[b].label.iter().copied().collect();
         self.nodes[a].label.extend(blabel);
         let bedges = std::mem::take(&mut self.nodes[b].edges);
         self.nodes[a].edges.extend(bedges);
@@ -222,21 +240,33 @@ impl Tableau {
     /// A reasoner for `tbox`. The vocabulary is accepted for symmetry
     /// with other constructors (names are already interned into ids).
     pub fn new(tbox: &TBox, _voc: &Vocabulary) -> Self {
+        let mut interner = Interner::new();
         let mut universal = vec![];
-        let mut absorbed: BTreeMap<crate::concept::ConceptId, Vec<Concept>> = BTreeMap::new();
+        let mut absorbed: BTreeMap<crate::concept::ConceptId, Vec<ConceptRef>> = BTreeMap::new();
         for (l, r) in tbox.gcis() {
             match l {
-                Concept::Atom(a) => absorbed.entry(a).or_default().push(r.nnf()),
-                _ => universal.push(Concept::or(vec![Concept::not(l), r]).nnf()),
+                Concept::Atom(a) => {
+                    let h = interner.intern(&r);
+                    let n = interner.nnf(h);
+                    absorbed.entry(a).or_default().push(n);
+                }
+                _ => {
+                    let g = Concept::or(vec![Concept::not(l), r]);
+                    let h = interner.intern(&g);
+                    let n = interner.nnf(h);
+                    universal.push(n);
+                }
             }
         }
         Tableau {
+            interner,
             universal,
             absorbed,
             budget: DEFAULT_NODE_BUDGET,
-            cache: BTreeMap::new(),
+            cache: FxHashMap::default(),
             shared: None,
             fingerprint: tbox_fingerprint(tbox),
+            intern_hits_reported: 0,
         }
     }
 
@@ -246,14 +276,31 @@ impl Tableau {
     /// but exponentially slower on axiom-rich TBoxes; kept for the
     /// ablation benchmark (`ablation_absorption`).
     pub fn new_without_absorption(tbox: &TBox, _voc: &Vocabulary) -> Self {
+        let mut interner = Interner::new();
+        let universal = tbox
+            .universal_constraints()
+            .iter()
+            .map(|c| {
+                let h = interner.intern(c);
+                interner.nnf(h)
+            })
+            .collect();
         Tableau {
-            universal: tbox.universal_constraints(),
+            interner,
+            universal,
             absorbed: BTreeMap::new(),
             budget: DEFAULT_NODE_BUDGET,
-            cache: BTreeMap::new(),
+            cache: FxHashMap::default(),
             shared: None,
             fingerprint: tbox_fingerprint(tbox),
+            intern_hits_reported: 0,
         }
+    }
+
+    /// The reasoner's hash-consing arena (read-only; exposed for
+    /// diagnostics and tests).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
     /// Override the node budget.
@@ -311,33 +358,67 @@ impl Tableau {
         }
     }
 
+    /// Interner hits not yet flowed into the `dl.intern.hits` counter;
+    /// returns the delta and marks it reported. Composite services
+    /// (e.g. the parallel classifier's worker-drain hook) call this to
+    /// harvest hits accumulated outside any sat-call boundary.
+    pub fn drain_intern_hits(&mut self) -> u64 {
+        let now = self.interner.hits();
+        let delta = now - self.intern_hits_reported;
+        self.intern_hits_reported = now;
+        delta
+    }
+
+    /// Flow newly accumulated interner hits into the `dl.intern.hits`
+    /// counter as a delta (observational only — hash-cons reuse is not
+    /// ledger work, so nothing is charged).
+    fn note_intern_hits(&mut self, meter: &Meter) {
+        let delta = self.drain_intern_hits();
+        if delta > 0 {
+            meter.count("dl.intern.hits", delta);
+        }
+    }
+
     fn sat_inner(
         &mut self,
         c: &Concept,
         node_cap: usize,
         meter: &mut Meter,
     ) -> std::result::Result<bool, Stop> {
-        let nnf = c.nnf();
+        let h = self.interner.intern(c);
+        let nnf = self.interner.nnf(h);
         if let Some(&r) = self.cache.get(&nnf) {
+            self.note_intern_hits(meter);
             return Ok(r);
         }
-        if let Some(shared) = &self.shared {
-            match shared.get(self.fingerprint, &nnf) {
+        // The shared cache is keyed by the externalized (canonical)
+        // tree, not the handle: handles are interner-local, and sibling
+        // workers intern in different orders. Externalizing once per
+        // *uncached* sat call is noise next to the search it fronts.
+        let shared = self.shared.clone();
+        let mut ext_key: Option<Concept> = None;
+        if let Some(sc) = &shared {
+            let key = self.interner.externalize(nnf);
+            match sc.get(self.fingerprint, &key) {
                 Some(r) => {
                     meter.note_cache_hit();
                     self.cache.insert(nnf, r);
+                    self.note_intern_hits(meter);
                     return Ok(r);
                 }
-                None => meter.note_cache_miss(),
+                None => {
+                    meter.note_cache_miss();
+                    ext_key = Some(key);
+                }
             }
         }
         // Span covers the actual search only — cached answers return
         // above without opening one, so a flamegraph shows real work.
         let mut span = meter.span("dl.sat");
         let mut st = State::new();
-        let mut label: BTreeSet<Concept> = BTreeSet::new();
-        label.insert(nnf.clone());
-        label.extend(self.universal.iter().cloned());
+        let mut label: BTreeSet<ConceptRef> = BTreeSet::new();
+        label.insert(nnf);
+        label.extend(self.universal.iter().copied());
         st.add_node(label, None);
         let sat = matches!(
             self.expand(st, node_cap, &mut 0, meter)?,
@@ -346,10 +427,12 @@ impl Tableau {
         span.record("sat", sat);
         // Only completed searches are memoized: a budget-interrupted
         // run has no answer to cache (and never reaches this line).
-        if let Some(shared) = &self.shared {
-            shared.insert(self.fingerprint, nnf.clone(), sat);
+        if let Some(sc) = &shared {
+            let key = ext_key.take().expect("externalized at lookup");
+            sc.insert(self.fingerprint, key, sat);
         }
         self.cache.insert(nnf, sat);
+        self.note_intern_hits(meter);
         Ok(sat)
     }
 
@@ -431,8 +514,8 @@ impl Tableau {
         let mut st = State::new();
         let mut index: BTreeMap<u32, usize> = BTreeMap::new();
         for ind in abox.individuals() {
-            let mut label: BTreeSet<Concept> = BTreeSet::new();
-            label.extend(self.universal.iter().cloned());
+            let mut label: BTreeSet<ConceptRef> = BTreeSet::new();
+            label.extend(self.universal.iter().copied());
             let id = st.add_node(label, None);
             index.insert(ind.0, id);
         }
@@ -445,7 +528,9 @@ impl Tableau {
         }
         for (ind, c) in abox.concept_assertions() {
             let id = index[&ind.0];
-            st.nodes[id].label.insert(c.nnf());
+            let h = self.interner.intern(c);
+            let n = self.interner.nnf(h);
+            st.nodes[id].label.insert(n);
         }
         for (a, r, b) in abox.role_assertions() {
             let (ia, ib) = (index[&a.0], index[&b.0]);
@@ -497,7 +582,7 @@ impl Tableau {
     /// governance envelope, charged one step per search state popped,
     /// per rule application, and per node created.
     fn expand(
-        &self,
+        &mut self,
         st: State,
         node_cap: usize,
         created: &mut usize,
@@ -513,7 +598,9 @@ impl Tableau {
             meter.count("dl.rule.search", 1);
             // Deterministic rules to fixpoint, abandoning on clash.
             loop {
-                if (0..st.nodes.len()).any(|x| st.nodes[x].alive && st.has_clash(x)) {
+                if (0..st.nodes.len())
+                    .any(|x| st.nodes[x].alive && st.has_clash(x, &self.interner))
+                {
                     continue 'states;
                 }
                 if !self.apply_deterministic(&mut st, node_cap, created, meter)? {
@@ -549,15 +636,24 @@ impl Tableau {
             if !st.nodes[x].alive {
                 continue;
             }
-            let label: Vec<Concept> = st.nodes[x].label.iter().cloned().collect();
-            for c in &label {
-                match c {
+            // Scan the label in *structural* order, not handle order:
+            // rule priority (absorption/⊓ before ⊔ before ∃/∀ before
+            // counting rules) falls out of `Concept`'s variant order,
+            // and the search tree this induces is what the blocking
+            // condition and the node budgets were tuned against. The
+            // structural order is also interner-independent, so
+            // sibling workers with different interning histories walk
+            // identical search trees.
+            let mut label: Vec<ConceptRef> = st.nodes[x].label.iter().copied().collect();
+            label.sort_by(|&a, &b| self.interner.cmp_structural(a, b));
+            for &c in &label {
+                match self.interner.node(c) {
                     // absorption: A ∈ L(x) with A ⊑ C absorbed → add C
-                    Concept::Atom(a) => {
+                    CNode::Atom(a) => {
                         if let Some(rhss) = self.absorbed.get(a) {
                             let mut changed = false;
-                            for rhs in rhss {
-                                changed |= st.nodes[x].label.insert(rhs.clone());
+                            for &rhs in rhss {
+                                changed |= st.nodes[x].label.insert(rhs);
                             }
                             if changed {
                                 return Ok(true);
@@ -565,38 +661,40 @@ impl Tableau {
                         }
                     }
                     // ⊓-rule
-                    Concept::And(parts) => {
+                    CNode::And(parts) => {
                         let mut changed = false;
-                        for p in parts {
-                            changed |= st.nodes[x].label.insert(p.clone());
+                        for &p in parts.iter() {
+                            changed |= st.nodes[x].label.insert(p);
                         }
                         if changed {
                             return Ok(true);
                         }
                     }
                     // ∀-rule
-                    Concept::Forall(r, d) => {
-                        for y in st.successors(x, *r) {
-                            if st.nodes[y].label.insert(d.as_ref().clone()) {
+                    CNode::Forall(r, d) => {
+                        let (r, d) = (*r, *d);
+                        for y in st.successors(x, r) {
+                            if st.nodes[y].label.insert(d) {
                                 return Ok(true);
                             }
                         }
                     }
                     // ∃-rule (blocked nodes do not generate)
-                    Concept::Exists(r, d) => {
+                    CNode::Exists(r, d) => {
+                        let (r, d) = (*r, *d);
                         if st.is_blocked(x) {
                             continue;
                         }
                         let has = st
-                            .successors(x, *r)
+                            .successors(x, r)
                             .into_iter()
-                            .any(|y| st.nodes[y].label.contains(d.as_ref()));
+                            .any(|y| st.nodes[y].label.contains(&d));
                         if !has {
                             self.spawn_child(
                                 st,
                                 x,
-                                *r,
-                                [d.as_ref().clone()],
+                                r,
+                                [d],
                                 node_cap,
                                 created,
                                 meter,
@@ -606,25 +704,26 @@ impl Tableau {
                         }
                     }
                     // ≥-rule
-                    Concept::AtLeast(k, r, d) => {
+                    CNode::AtLeast(k, r, d) => {
+                        let (k, r, d) = (*k, *r, *d);
                         if st.is_blocked(x) {
                             continue;
                         }
                         let with_d: Vec<usize> = st
-                            .successors(x, *r)
+                            .successors(x, r)
                             .into_iter()
-                            .filter(|&y| st.nodes[y].label.contains(d.as_ref()))
+                            .filter(|&y| st.nodes[y].label.contains(&d))
                             .collect();
                         // Count a maximal pairwise-distinct subset
                         // conservatively: all current ones are candidates.
-                        if (with_d.len() as u32) < *k {
+                        if (with_d.len() as u32) < k {
                             let mut fresh = vec![];
-                            for _ in with_d.len() as u32..*k {
+                            for _ in with_d.len() as u32..k {
                                 let id = self.spawn_child(
                                     st,
                                     x,
-                                    *r,
-                                    [d.as_ref().clone()],
+                                    r,
+                                    [d],
                                     node_cap,
                                     created,
                                     meter,
@@ -658,7 +757,7 @@ impl Tableau {
         st: &mut State,
         x: usize,
         r: RoleId,
-        seed: impl IntoIterator<Item = Concept>,
+        seed: impl IntoIterator<Item = ConceptRef>,
         node_cap: usize,
         created: &mut usize,
         meter: &mut Meter,
@@ -671,14 +770,14 @@ impl Tableau {
         meter.charge(1)?;
         meter.count(rule, 1);
         meter.charge_memory(1)?;
-        let mut label: BTreeSet<Concept> = seed.into_iter().collect();
-        label.extend(self.universal.iter().cloned());
+        let mut label: BTreeSet<ConceptRef> = seed.into_iter().collect();
+        label.extend(self.universal.iter().copied());
         // ∀-propagation into the new node.
-        let foralls: Vec<Concept> = st.nodes[x]
+        let foralls: Vec<ConceptRef> = st.nodes[x]
             .label
             .iter()
-            .filter_map(|c| match c {
-                Concept::Forall(rr, d) if *rr == r => Some(d.as_ref().clone()),
+            .filter_map(|&c| match self.interner.node(c) {
+                CNode::Forall(rr, d) if *rr == r => Some(*d),
                 _ => None,
             })
             .collect();
@@ -691,50 +790,58 @@ impl Tableau {
     /// Find the first applicable nondeterministic rule and return the
     /// alternative successor states it generates. `None` means no rule
     /// applies (the state is complete).
-    fn branch_alternatives(&self, st: &State) -> Option<Vec<State>> {
+    fn branch_alternatives(&mut self, st: &State) -> Option<Vec<State>> {
         for x in 0..st.nodes.len() {
             if !st.nodes[x].alive {
                 continue;
             }
-            let label: Vec<Concept> = st.nodes[x].label.iter().cloned().collect();
-            for c in &label {
-                match c {
-                    // ⊔-rule
-                    Concept::Or(parts) => {
-                        if parts.iter().any(|p| st.nodes[x].label.contains(p)) {
-                            continue;
-                        }
-                        let alts = parts
-                            .iter()
-                            .map(|p| {
+            // Scan the label in *structural* order, not handle order:
+            // rule priority (absorption/⊓ before ⊔ before ∃/∀ before
+            // counting rules) falls out of `Concept`'s variant order,
+            // and the search tree this induces is what the blocking
+            // condition and the node budgets were tuned against. The
+            // structural order is also interner-independent, so
+            // sibling workers with different interning histories walk
+            // identical search trees.
+            let mut label: Vec<ConceptRef> = st.nodes[x].label.iter().copied().collect();
+            label.sort_by(|&a, &b| self.interner.cmp_structural(a, b));
+            for &c in &label {
+                // ⊔-rule
+                if let CNode::Or(parts) = self.interner.node(c) {
+                    if parts.iter().any(|p| st.nodes[x].label.contains(p)) {
+                        continue;
+                    }
+                    let alts = parts
+                        .iter()
+                        .map(|&p| {
+                            let mut st2 = st.clone();
+                            st2.nodes[x].label.insert(p);
+                            st2
+                        })
+                        .collect();
+                    return Some(alts);
+                }
+                // choose-rule: for ≤n r.D, every r-successor must
+                // decide D vs ¬D. Copy the fields out so the arena
+                // borrow ends before the (memoized, possibly
+                // allocating) negation lookup below.
+                let (r, d) = match self.interner.node(c) {
+                    CNode::AtMost(_, r, d) => (*r, *d),
+                    _ => continue,
+                };
+                let neg = self.interner.neg_nnf(d);
+                for y in st.successors(x, r) {
+                    if !st.nodes[y].label.contains(&d) && !st.nodes[y].label.contains(&neg) {
+                        let alts = [d, neg]
+                            .into_iter()
+                            .map(|choice| {
                                 let mut st2 = st.clone();
-                                st2.nodes[x].label.insert(p.clone());
+                                st2.nodes[y].label.insert(choice);
                                 st2
                             })
                             .collect();
                         return Some(alts);
                     }
-                    // choose-rule: for ≤n r.D, every r-successor must
-                    // decide D vs ¬D.
-                    Concept::AtMost(_, r, d) => {
-                        let neg = Concept::not(d.as_ref().clone()).nnf();
-                        for y in st.successors(x, *r) {
-                            if !st.nodes[y].label.contains(d.as_ref())
-                                && !st.nodes[y].label.contains(&neg)
-                            {
-                                let alts = [d.as_ref().clone(), neg.clone()]
-                                    .into_iter()
-                                    .map(|choice| {
-                                        let mut st2 = st.clone();
-                                        st2.nodes[y].label.insert(choice);
-                                        st2
-                                    })
-                                    .collect();
-                                return Some(alts);
-                            }
-                        }
-                    }
-                    _ => {}
                 }
             }
         }
@@ -744,13 +851,22 @@ impl Tableau {
             if !st.nodes[x].alive {
                 continue;
             }
-            let label: Vec<Concept> = st.nodes[x].label.iter().cloned().collect();
-            for c in &label {
-                if let Concept::AtMost(n, r, d) = c {
+            // Scan the label in *structural* order, not handle order:
+            // rule priority (absorption/⊓ before ⊔ before ∃/∀ before
+            // counting rules) falls out of `Concept`'s variant order,
+            // and the search tree this induces is what the blocking
+            // condition and the node budgets were tuned against. The
+            // structural order is also interner-independent, so
+            // sibling workers with different interning histories walk
+            // identical search trees.
+            let mut label: Vec<ConceptRef> = st.nodes[x].label.iter().copied().collect();
+            label.sort_by(|&a, &b| self.interner.cmp_structural(a, b));
+            for &c in &label {
+                if let CNode::AtMost(n, r, d) = self.interner.node(c) {
                     let with_d: Vec<usize> = st
                         .successors(x, *r)
                         .into_iter()
-                        .filter(|&y| st.nodes[y].label.contains(d.as_ref()))
+                        .filter(|&y| st.nodes[y].label.contains(d))
                         .collect();
                     if with_d.len() > *n as usize {
                         let mut alts = vec![];

@@ -164,6 +164,30 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, &mut Meter, usize, &T) -> Result<R, Interrupt> + Sync,
 {
+    par_map_with_drain(items, budget, threads, init, f, |_, _| {})
+}
+
+/// [`par_map_with`] plus a per-worker teardown hook: after a worker
+/// finishes draining (or trips), `drain(worker_id, state)` receives its
+/// final state — the place to harvest worker-local statistics (e.g. a
+/// reasoner's interner hit counts) that would otherwise be dropped on
+/// the scope join. The hook runs on the worker's own thread, inside its
+/// `exec.worker` span, before the park counter ticks.
+pub fn par_map_with_drain<T, R, S, I, F, D>(
+    items: &[T],
+    budget: &Budget,
+    threads: usize,
+    init: I,
+    f: F,
+    drain: D,
+) -> ParOutcome<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, &mut Meter, usize, &T) -> Result<R, Interrupt> + Sync,
+    D: Fn(usize, S) + Sync,
+{
     let shared = budget.share();
     let workers = threads.max(1).min(items.len().max(1));
     let queues = StealQueues::seed(items.len(), workers);
@@ -193,7 +217,9 @@ where
                 }
             }
         }
-        // Worker ran out of local and stealable work (or tripped).
+        // Worker ran out of local and stealable work (or tripped);
+        // hand the final state to the caller's harvest hook.
+        drain(w, state);
         tracer.add("exec.park", 1);
         (done, meter.spend())
     };
@@ -273,7 +299,9 @@ where
 }
 
 pub mod prelude {
-    pub use crate::{default_threads, par_cells, par_map, par_map_with, ParOutcome};
+    pub use crate::{
+        default_threads, par_cells, par_map, par_map_with, par_map_with_drain, ParOutcome,
+    };
 }
 
 #[cfg(test)]
@@ -369,6 +397,34 @@ mod tests {
             out.results.iter().flatten().sum::<u64>(),
             (1..=200).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn drain_hook_sees_every_workers_final_state() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let items: Vec<u64> = (0..100).collect();
+        let total = AtomicU64::new(0);
+        let drained = AtomicU64::new(0);
+        let out = par_map_with_drain(
+            &items,
+            &Budget::unlimited(),
+            4,
+            |_| 0u64,
+            |count, m, _, &x| {
+                m.charge(1)?;
+                *count += x;
+                Ok(x)
+            },
+            |_, count| {
+                total.fetch_add(count, Ordering::Relaxed);
+                drained.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(out.is_complete());
+        // The per-worker partial sums reassemble the whole workload:
+        // no worker's final state was dropped on the join.
+        assert_eq!(total.load(Ordering::Relaxed), (0..100).sum::<u64>());
+        assert_eq!(drained.load(Ordering::Relaxed), 4);
     }
 
     #[test]

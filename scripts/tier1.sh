@@ -24,6 +24,15 @@ SUMMA_TRACE=1 SUMMA_THREADS=4 cargo test -q -p summa-core --test integration_obs
 test -s target/trace_car_dog.json
 echo "    trace_car_dog.json: valid, non-empty"
 
+# Bench smoke lane: one sample per classification strategy. The bench
+# itself asserts brute-force ≡ enhanced hierarchies and the diamond
+# sat-call acceptance ratio; the validator gates the report format.
+echo "==> SUMMA_BENCH_SMOKE=1 cargo bench --bench classify"
+SUMMA_BENCH_SMOKE=1 cargo bench --bench classify
+cargo run -q -p summa-obs --example validate_json -- \
+    BENCH_classify.json bench generated_at workloads
+echo "    BENCH_classify.json: valid"
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace -- -D warnings"
     cargo clippy --workspace -- -D warnings

@@ -141,7 +141,7 @@ fn classification_degrades_to_sound_partial_hierarchy() {
     // Soundness: everything the starved run claims, the full run
     // confirms. (The converse fails by construction — it was starved.)
     for c in partial.concepts() {
-        for s in partial.subsumers_of(c) {
+        for &s in partial.subsumers_ref(c).into_iter().flatten() {
             assert!(
                 full.subsumes(s, c),
                 "partial hierarchy fabricated a subsumption"

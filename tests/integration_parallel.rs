@@ -109,8 +109,8 @@ fn one_shot_fault_in_one_worker_degrades_cleanly() {
             assert!(plan.fired(), "the shared one-shot trigger must fire");
             for c in partial.concepts() {
                 assert_eq!(
-                    partial.subsumers_of(c),
-                    truth.subsumers_of(c),
+                    partial.subsumers_ref(c),
+                    truth.subsumers_ref(c),
                     "a decided row in the faulted partial must be exact"
                 );
             }
@@ -320,7 +320,7 @@ proptest! {
             Governed::Exhausted { partial, .. } => {
                 let partial = partial.expect("classification always carries a partial");
                 for c in partial.concepts() {
-                    prop_assert_eq!(partial.subsumers_of(c), truth.subsumers_of(c));
+                    prop_assert_eq!(partial.subsumers_ref(c), truth.subsumers_ref(c));
                 }
             }
             Governed::Cancelled { .. } => prop_assert!(false, "nothing cancels this run"),
