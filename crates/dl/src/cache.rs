@@ -15,18 +15,28 @@
 //! (parallel ≡ sequential) hold bit-for-bit.
 
 use crate::concept::Concept;
-use crate::fxhash::{FxBuildHasher, FxHasher};
+use crate::fxhash::{fx_hash, FxBuildHasher, FxHasher};
 use crate::tbox::TBox;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock};
 
 /// Shard maps are keyed with the Fx mixer too: the keys are our own
 /// structures, not attacker input, and lookups sit on the hot path of
-/// every shared-cache probe.
-type Shard = HashMap<(u64, Concept), bool, FxBuildHasher>;
+/// every shared-cache probe. Each entry stores its answer *and* an
+/// [`entry_checksum`] over (key, answer): a flipped or poisoned entry
+/// no longer matches its checksum and is evicted on read instead of
+/// being served — degrading to a recompute, never to a wrong answer.
+type Shard = HashMap<(u64, Concept), (bool, u64), FxBuildHasher>;
+
+/// Integrity checksum of one cache entry, bound to its full key and
+/// value. Any bit of the answer (or a cross-slot mixup of keys)
+/// changes the checksum.
+fn entry_checksum(tbox: u64, c: &Concept, sat: bool) -> u64 {
+    fx_hash(&(0x53A7_CACE_u32, tbox, fx_hash(c), sat))
+}
 
 /// Number of independent shards. A power of two so shard selection is
 /// a mask; 16 is plenty for the worker counts std::thread::scope will
@@ -55,6 +65,7 @@ pub struct SatCache {
     shards: Vec<RwLock<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    corruptions: AtomicU64,
 }
 
 impl SatCache {
@@ -65,6 +76,7 @@ impl SatCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
         }
     }
 
@@ -84,29 +96,62 @@ impl SatCache {
     }
 
     /// Look up a completed answer for `c` (already in NNF) under the
-    /// TBox with fingerprint `tbox`. Counts a hit or miss.
+    /// TBox with fingerprint `tbox`. Counts a hit or miss. An entry
+    /// whose checksum no longer matches (bit rot, injected poisoning)
+    /// is *evicted and reported as a miss* — the caller recomputes,
+    /// and the answer stays correct.
     pub fn get(&self, tbox: u64, c: &Concept) -> Option<bool> {
-        let found = self
-            .shard(tbox, c)
+        let shard = self.shard(tbox, c);
+        let key = (tbox, c.clone());
+        let found = shard
             .read()
-            .expect("sat cache poisoned")
-            .get(&(tbox, c.clone()))
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
             .copied();
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+            Some((sat, sum)) if sum == entry_checksum(tbox, c, sat) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(sat)
+            }
+            Some(_) => {
+                // Corrupted entry: evict, count, fall back to recompute.
+                self.corruptions.fetch_add(1, Ordering::Relaxed);
+                shard
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&key);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Record a **completed** answer. Concurrent inserts of the same
     /// key always carry the same value (the calculus is deterministic),
     /// so last-write-wins is harmless.
     pub fn insert(&self, tbox: u64, c: Concept, sat: bool) {
+        let sum = entry_checksum(tbox, &c, sat);
         self.shard(tbox, &c)
             .write()
-            .expect("sat cache poisoned")
-            .insert((tbox, c), sat);
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert((tbox, c), (sat, sum));
+    }
+
+    /// Record a *corrupted* answer: the stored boolean is flipped while
+    /// the checksum still covers the true value — exactly the shape a
+    /// stray bit-flip or a chaos-injected `poison` fault produces. The
+    /// next [`get`](Self::get) detects the mismatch and recomputes.
+    /// Used by the fault-injection path and the integrity tests.
+    pub fn insert_poisoned(&self, tbox: u64, c: Concept, sat: bool) {
+        let sum = entry_checksum(tbox, &c, sat);
+        self.shard(tbox, &c)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert((tbox, c), (!sat, sum));
     }
 
     /// Lifetime hit count.
@@ -119,11 +164,16 @@ impl SatCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Corrupted entries detected (and evicted) on read.
+    pub fn corruptions(&self) -> u64 {
+        self.corruptions.load(Ordering::Relaxed)
+    }
+
     /// Cached entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("sat cache poisoned").len())
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 
@@ -198,6 +248,32 @@ mod tests {
             let s2 = c2.shard(fp, c) as *const _ as usize - c2.shards.as_ptr() as usize;
             assert_eq!(s1, s2, "shard index must be process-independent");
         }
+    }
+
+    #[test]
+    fn poisoned_entries_are_detected_evicted_and_recomputed() {
+        let mut voc = Vocabulary::new();
+        let a = Concept::atom(voc.concept("A"));
+        let cache = SatCache::new();
+
+        // A poisoned entry (flipped answer, stale checksum) is never
+        // served: the read detects the mismatch, evicts, and reports a
+        // miss so the caller recomputes.
+        cache.insert_poisoned(7, a.clone(), true);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(7, &a), None, "poisoned answer must not be served");
+        assert_eq!(cache.corruptions(), 1);
+        assert_eq!(cache.len(), 0, "corrupt entry evicted");
+
+        // The recomputed answer re-enters cleanly and is served again.
+        cache.insert(7, a.clone(), true);
+        assert_eq!(cache.get(7, &a), Some(true));
+        assert_eq!(cache.corruptions(), 1, "no further corruption seen");
+
+        // A healthy entry under a different key is unaffected.
+        let b = Concept::atom(voc.concept("B"));
+        cache.insert(7, b.clone(), false);
+        assert_eq!(cache.get(7, &b), Some(false));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! standard completion rules (CR1–CR5 of the CEL calculus), yielding
 //! all atom–atom subsumptions in polynomial time.
 
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointState};
 use crate::concept::{Concept, ConceptId, RoleId, Vocabulary};
 use crate::error::{DlError, Result};
 use crate::tbox::TBox;
@@ -42,6 +43,10 @@ pub struct ElClassifier {
     user: BTreeMap<ConceptId, Atom>,
     /// Saturated subsumer sets `S(X)`, filled by [`ElClassifier::saturate`].
     subsumers: Vec<BTreeSet<Atom>>,
+    /// Derived role edges `R(r)` as adjacency: `(x, r)` → set of `y`.
+    /// Persisted alongside `subsumers` so an interrupted saturation can
+    /// checkpoint and resume without losing CR3's work.
+    edges: BTreeMap<(Atom, RoleId), BTreeSet<Atom>>,
     saturated: bool,
 }
 
@@ -71,6 +76,7 @@ impl ElClassifier {
             axioms: vec![],
             user: BTreeMap::new(),
             subsumers: vec![],
+            edges: BTreeMap::new(),
             saturated: false,
         };
         // Reserve user atoms.
@@ -169,16 +175,25 @@ impl ElClassifier {
             .span("dl.el.saturate")
             .with("atoms", self.n_atoms as u64);
         let n = self.n_atoms as usize;
-        let mut s: Vec<BTreeSet<Atom>> = (0..n)
-            .map(|i| {
-                let mut set = BTreeSet::new();
-                set.insert(i as Atom);
-                set.insert(self.top);
-                set
-            })
-            .collect();
+        // Start from the persisted partial state when one exists (an
+        // earlier interrupted run, or a restored checkpoint); seed
+        // fresh otherwise. The completion rules are monotone, so
+        // re-deriving from any sound under-approximation reaches the
+        // same fixpoint an uninterrupted run does.
+        if self.subsumers.len() != n {
+            self.subsumers = (0..n)
+                .map(|i| {
+                    let mut set = BTreeSet::new();
+                    set.insert(i as Atom);
+                    set.insert(self.top);
+                    set
+                })
+                .collect();
+            self.edges = BTreeMap::new();
+        }
+        let mut s: Vec<BTreeSet<Atom>> = std::mem::take(&mut self.subsumers);
         // Role edges R(r) as adjacency: (x, r) → set of y.
-        let mut edges: BTreeMap<(Atom, RoleId), BTreeSet<Atom>> = BTreeMap::new();
+        let mut edges: BTreeMap<(Atom, RoleId), BTreeSet<Atom>> = std::mem::take(&mut self.edges);
 
         // Index axioms for rule application.
         let mut by_lhs: BTreeMap<Atom, Vec<Atom>> = BTreeMap::new();
@@ -194,13 +209,20 @@ impl ElClassifier {
             }
         }
 
-        // Work queue of (x, added atom) plus edge queue.
-        let mut queue: VecDeque<(Atom, Atom)> = VecDeque::new();
-        for x in 0..n as Atom {
-            queue.push_back((x, x));
-            queue.push_back((x, self.top));
-        }
-        let mut edge_queue: VecDeque<(Atom, RoleId, Atom)> = VecDeque::new();
+        // Work queue of (x, added atom) plus edge queue, seeded from
+        // every currently known fact: on a fresh start this is exactly
+        // the classic (x, x)/(x, ⊤) seeding; on resume it replays the
+        // checkpointed facts through the rules, which only ever adds
+        // entailed consequences.
+        let mut queue: VecDeque<(Atom, Atom)> = s
+            .iter()
+            .enumerate()
+            .flat_map(|(x, set)| set.iter().map(move |&a| (x as Atom, a)))
+            .collect();
+        let mut edge_queue: VecDeque<(Atom, RoleId, Atom)> = edges
+            .iter()
+            .flat_map(|(&(x, r), ys)| ys.iter().map(move |&y| (x, r, y)))
+            .collect();
 
         let add = |s: &mut Vec<BTreeSet<Atom>>,
                        queue: &mut VecDeque<(Atom, Atom)>,
@@ -277,10 +299,72 @@ impl ElClassifier {
             break Ok(());
         };
         // Keep whatever was proved — complete on Ok, a sound partial
-        // under-approximation on interrupt.
+        // under-approximation on interrupt. Edges persist alongside so
+        // a later resume (or checkpoint) loses none of CR3's work.
         self.subsumers = s;
+        self.edges = edges;
         self.saturated = outcome.is_ok();
         outcome
+    }
+
+    /// Snapshot the current (possibly partial) saturation state as a
+    /// [`Checkpoint`] bound to `fingerprint` (the
+    /// [`tbox_fingerprint`](crate::cache::tbox_fingerprint) of the
+    /// TBox this classifier was built from). Atom numbering is
+    /// deterministic for a given TBox, so a fresh classifier over the
+    /// same TBox can [`resume_from`](Self::resume_from) it.
+    pub fn checkpoint(&self, fingerprint: u64) -> Checkpoint {
+        Checkpoint {
+            fingerprint,
+            state: CheckpointState::ElSaturation {
+                subsumers: self.subsumers.clone(),
+                edges: self
+                    .edges
+                    .iter()
+                    .map(|(&(x, r), ys)| ((x, r.0), ys.clone()))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Restore a partial saturation from checkpoint bytes. Rejects
+    /// corrupt images, wrong fingerprints, and state whose shape does
+    /// not match this classifier's atom space; on success the next
+    /// [`saturate_metered`](Self::saturate_metered) continues from the
+    /// restored facts instead of starting over. Returns the number of
+    /// subsumption facts restored.
+    pub fn resume_from(
+        &mut self,
+        bytes: &[u8],
+        fingerprint: u64,
+    ) -> std::result::Result<usize, CheckpointError> {
+        let ckp = Checkpoint::from_bytes_for(bytes, fingerprint)?;
+        let CheckpointState::ElSaturation { subsumers, edges } = ckp.state else {
+            return Err(CheckpointError::Malformed("not an EL checkpoint"));
+        };
+        if subsumers.len() != self.n_atoms as usize {
+            return Err(CheckpointError::Malformed(
+                "checkpoint atom count does not match this TBox",
+            ));
+        }
+        let in_range = |a: &Atom| *a < self.n_atoms;
+        if !subsumers.iter().all(|set| set.iter().all(in_range))
+            || !edges
+                .iter()
+                .all(|(&(x, _), ys)| in_range(&x) && ys.iter().all(in_range))
+        {
+            return Err(CheckpointError::Malformed(
+                "checkpoint mentions atoms outside this TBox",
+            ));
+        }
+        let restored = subsumers.iter().map(BTreeSet::len).sum();
+        self.subsumers = subsumers;
+        self.edges = edges
+            .into_iter()
+            .map(|((x, r), ys)| ((x, RoleId(r)), ys))
+            .collect();
+        self.saturated = false;
+        Ok(restored)
     }
 
     /// Named-concept subsumer sets read off the *current* saturation

@@ -47,6 +47,7 @@
 
 pub mod abox;
 pub mod cache;
+pub mod checkpoint;
 pub mod classify;
 pub mod concept;
 pub mod corpus;
@@ -63,16 +64,24 @@ pub mod tbox;
 pub mod prelude {
     pub use crate::abox::{ABox, Individual};
     pub use crate::cache::{tbox_fingerprint, SatCache};
+    pub use crate::checkpoint::{
+        abox_fingerprint, kb_fingerprint, Checkpoint, CheckpointError, CheckpointState,
+        ResumeOutcome,
+    };
     pub use crate::classify::{
-        classify_brute_force_governed, classify_enhanced_governed, classify_parallel_governed,
-        ClassHierarchy, ClassifyStats, Classifier,
+        classify_brute_force_governed, classify_enhanced_checkpointed, classify_enhanced_governed,
+        classify_parallel_governed, classify_resume_from, ClassHierarchy, ClassifyRun,
+        ClassifyStats, Classifier,
     };
     pub use crate::concept::{CNode, Concept, ConceptId, ConceptRef, Interner, RoleId, Vocabulary};
     pub use crate::corpus::{animals_tbox, animals_tbox_repaired, vehicles_tbox, PaperVocab};
     pub use crate::el::ElClassifier;
     pub use crate::error::DlError;
     pub use crate::parser::{parse_axiom, parse_concept};
-    pub use crate::realize::{realize, realize_governed, realize_parallel_governed, Realization};
+    pub use crate::realize::{
+        realize, realize_checkpointed, realize_governed, realize_parallel_governed,
+        realize_resume_from, Realization, RealizeRun,
+    };
     pub use crate::tableau::Tableau;
     pub use crate::tbox::{Axiom, TBox};
 }

@@ -10,6 +10,7 @@
 //! this set of names, nothing more.
 
 use crate::abox::{ABox, Individual};
+use crate::checkpoint::{kb_fingerprint, Checkpoint, CheckpointError, CheckpointState, ResumeOutcome};
 use crate::concept::{Concept, ConceptId, Vocabulary};
 use crate::error::Result;
 use crate::tableau::Tableau;
@@ -126,13 +127,60 @@ pub fn realize_governed(
     voc: &Vocabulary,
     budget: &Budget,
 ) -> Governed<Realization> {
+    realize_checkpointed(tbox, abox, voc, budget, None).governed
+}
+
+/// The outcome of a resumable realization run: the governed
+/// [`Realization`], a [`Checkpoint`] when interrupted with progress
+/// worth keeping, and how the run started.
+#[derive(Debug)]
+pub struct RealizeRun {
+    pub governed: Governed<Realization>,
+    /// Emitted on exhaustion/cancellation when at least one individual
+    /// is fully realized; `None` on completion.
+    pub checkpoint: Option<Checkpoint>,
+    pub resume: ResumeOutcome,
+}
+
+/// [`realize_governed`] with checkpoint/resume. The checkpoint is
+/// bound to the *joint* (TBox, ABox) fingerprint — realization depends
+/// on both boxes, so a checkpoint taken against either a different
+/// TBox or a different ABox is rejected and the run restarts cleanly.
+///
+/// Resume soundness mirrors classification: checkpoints hold fully
+/// realized individuals only, each realized independently, so resumed
+/// ∪ fresh rows equal an uninterrupted run byte-for-byte.
+pub fn realize_checkpointed(
+    tbox: &TBox,
+    abox: &ABox,
+    voc: &Vocabulary,
+    budget: &Budget,
+    resume: Option<&[u8]>,
+) -> RealizeRun {
+    let fingerprint = kb_fingerprint(tbox, abox);
+    let (mut types, mut most_specific, resume_outcome) = match resume {
+        None => (BTreeMap::new(), BTreeMap::new(), ResumeOutcome::Fresh),
+        Some(bytes) => match restore_realization(bytes, fingerprint, abox) {
+            Ok((t, m)) => {
+                let restored = t.len();
+                (t, m, ResumeOutcome::Resumed { restored })
+            }
+            Err(why) => (
+                BTreeMap::new(),
+                BTreeMap::new(),
+                ResumeOutcome::Restarted { why },
+            ),
+        },
+    };
     let mut reasoner = Tableau::new(tbox, voc);
     let mut meter = budget.meter();
-    let _span = meter
+    let mut span = meter
         .span("dl.realize")
         .with("individuals", abox.individuals().count());
-    let mut types: BTreeMap<Individual, BTreeSet<ConceptId>> = BTreeMap::new();
-    let mut most_specific: BTreeMap<Individual, BTreeSet<ConceptId>> = BTreeMap::new();
+    if let ResumeOutcome::Resumed { restored } = &resume_outcome {
+        span.record("resumed_individuals", *restored as u64);
+        meter.count("dl.realize.resumed_individuals", *restored as u64);
+    }
     match realize_metered(
         tbox,
         abox,
@@ -142,18 +190,80 @@ pub fn realize_governed(
         &mut types,
         &mut most_specific,
     ) {
-        Ok(()) => Governed::Completed(Realization {
-            types,
-            most_specific,
-        }),
-        Err(i) => Governed::from_interrupt(
-            i,
-            Some(Realization {
+        Ok(()) => RealizeRun {
+            governed: Governed::Completed(Realization {
                 types,
                 most_specific,
             }),
-        ),
+            checkpoint: None,
+            resume: resume_outcome,
+        },
+        Err(i) => {
+            span.record("interrupted", true);
+            let checkpoint = (!types.is_empty()).then(|| Checkpoint {
+                fingerprint,
+                state: CheckpointState::Realization {
+                    types: types.clone(),
+                    most_specific: most_specific.clone(),
+                },
+            });
+            RealizeRun {
+                governed: Governed::from_interrupt(
+                    i,
+                    Some(Realization {
+                        types,
+                        most_specific,
+                    }),
+                ),
+                checkpoint,
+                resume: resume_outcome,
+            }
+        }
     }
+}
+
+/// Resume realization from checkpoint bytes (see
+/// [`realize_checkpointed`]).
+pub fn realize_resume_from(
+    tbox: &TBox,
+    abox: &ABox,
+    voc: &Vocabulary,
+    budget: &Budget,
+    bytes: &[u8],
+) -> RealizeRun {
+    realize_checkpointed(tbox, abox, voc, budget, Some(bytes))
+}
+
+/// Validate realization checkpoint bytes: decode, checksum,
+/// fingerprint, and require every mentioned individual to exist in the
+/// ABox being resumed.
+#[allow(clippy::type_complexity)]
+fn restore_realization(
+    bytes: &[u8],
+    fingerprint: u64,
+    abox: &ABox,
+) -> std::result::Result<
+    (
+        BTreeMap<Individual, BTreeSet<ConceptId>>,
+        BTreeMap<Individual, BTreeSet<ConceptId>>,
+    ),
+    CheckpointError,
+> {
+    let ckp = Checkpoint::from_bytes_for(bytes, fingerprint)?;
+    let CheckpointState::Realization {
+        types,
+        most_specific,
+    } = ckp.state
+    else {
+        return Err(CheckpointError::Malformed("not a realization checkpoint"));
+    };
+    let known: BTreeSet<Individual> = abox.individuals().collect();
+    if !types.keys().all(|i| known.contains(i)) {
+        return Err(CheckpointError::Malformed(
+            "checkpoint mentions individuals outside the ABox",
+        ));
+    }
+    Ok((types, most_specific))
 }
 
 /// Parallel, budget-governed realization: individuals are distributed
@@ -188,6 +298,7 @@ pub fn realize_parallel_governed(
         threads,
         |_| Tableau::new(tbox, voc).with_shared_cache(Arc::clone(&cache)),
         |reasoner, meter, _, &ind| {
+            meter.fault_point("dl.realize.individual")?;
             let mut set = BTreeSet::new();
             for &c in atoms_ref {
                 let mut extended = abox.clone();
@@ -264,6 +375,13 @@ fn realize_metered(
 ) -> std::result::Result<(), Interrupt> {
     let atoms: Vec<ConceptId> = voc.concepts().collect();
     for ind in abox.individuals() {
+        // Individuals already present were restored from a checkpoint
+        // (their rows are exact) — skip, charging nothing.
+        if types.contains_key(&ind) {
+            continue;
+        }
+        // Chaos-injection site, mirroring `dl.classify.row`.
+        meter.fault_point("dl.realize.individual")?;
         let mut set = BTreeSet::new();
         for &c in &atoms {
             let mut extended = abox.clone();

@@ -429,7 +429,19 @@ impl Tableau {
         // run has no answer to cache (and never reaches this line).
         if let Some(sc) = &shared {
             let key = ext_key.take().expect("externalized at lookup");
-            sc.insert(self.fingerprint, key, sat);
+            // Chaos-injection site: a scheduled `poison` fault writes a
+            // corrupted entry (flipped answer, stale checksum) so the
+            // cache's integrity check can be exercised end to end. The
+            // answer *returned* from this call stays correct either
+            // way; only the stored copy is damaged.
+            if matches!(
+                meter.fault_point("dl.cache.insert"),
+                Ok(Some(summa_guard::FaultKind::Poison))
+            ) {
+                sc.insert_poisoned(self.fingerprint, key, sat);
+            } else {
+                sc.insert(self.fingerprint, key, sat);
+            }
         }
         self.cache.insert(nnf, sat);
         self.note_intern_hits(meter);

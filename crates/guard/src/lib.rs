@@ -40,6 +40,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod fault;
+
+pub use fault::{FaultInjector, FaultKind, FiredFault};
+
 /// Structured tracing and metrics (re-exported `summa-obs`).
 ///
 /// The [`Tracer`](obs::Tracer) rides inside [`Budget`] / [`Meter`] /
@@ -197,6 +201,9 @@ pub struct Budget {
     max_memory: Option<u64>,
     cancel: Option<CancelToken>,
     fault: Option<FaultPlan>,
+    /// Explicit fault schedule; `None` falls back to the process-global
+    /// one (gated by `SUMMA_FAULT_PLAN`/`SUMMA_FAULT_SEED`).
+    injector: Option<Arc<FaultInjector>>,
     /// Explicit tracer; `None` falls back to the process-global one
     /// (gated by `SUMMA_TRACE`).
     tracer: Option<obs::Tracer>,
@@ -248,6 +255,24 @@ impl Budget {
     pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
         self
+    }
+
+    /// Attach a deterministic site-tagged fault schedule (chaos tests
+    /// only). Without one, meters fall back to the process-global
+    /// injector parsed from `SUMMA_FAULT_PLAN`/`SUMMA_FAULT_SEED` —
+    /// which is absent in production, making every
+    /// [`fault_point`](Meter::fault_point) a no-op `Option` check.
+    pub fn with_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// The fault schedule meters drawn from this budget consult: the
+    /// explicit one if attached, else the process-global one (if any).
+    pub fn injector(&self) -> Option<Arc<FaultInjector>> {
+        self.injector
+            .clone()
+            .or_else(|| FaultInjector::global().cloned())
     }
 
     /// Attach an explicit [`Tracer`](obs::Tracer). Without one, every
@@ -302,6 +327,7 @@ const TRIP_DEADLINE: u8 = 2;
 const TRIP_MEMORY: u8 = 3;
 const TRIP_FAULT: u8 = 4;
 const TRIP_CANCELLED: u8 = 5;
+const TRIP_TASKFAILURE: u8 = 6;
 
 fn encode_interrupt(i: Interrupt) -> u8 {
     match i {
@@ -309,6 +335,7 @@ fn encode_interrupt(i: Interrupt) -> u8 {
         Interrupt::Exhausted(ExhaustionReason::Deadline) => TRIP_DEADLINE,
         Interrupt::Exhausted(ExhaustionReason::Memory) => TRIP_MEMORY,
         Interrupt::Exhausted(ExhaustionReason::FaultInjected) => TRIP_FAULT,
+        Interrupt::Exhausted(ExhaustionReason::TaskFailure) => TRIP_TASKFAILURE,
         Interrupt::Cancelled => TRIP_CANCELLED,
     }
 }
@@ -319,6 +346,7 @@ fn decode_interrupt(code: u8) -> Option<Interrupt> {
         TRIP_DEADLINE => Some(Interrupt::Exhausted(ExhaustionReason::Deadline)),
         TRIP_MEMORY => Some(Interrupt::Exhausted(ExhaustionReason::Memory)),
         TRIP_FAULT => Some(Interrupt::Exhausted(ExhaustionReason::FaultInjected)),
+        TRIP_TASKFAILURE => Some(Interrupt::Exhausted(ExhaustionReason::TaskFailure)),
         TRIP_CANCELLED => Some(Interrupt::Cancelled),
         _ => None,
     }
@@ -391,6 +419,12 @@ impl SharedLedger {
         // under-run only loosens the (proxy) limit.
         self.memory.fetch_sub(n, Ordering::Relaxed);
     }
+
+    /// Give back `n` steps to the pool — the supervisor's rollback of a
+    /// panicked attempt's charges. Refunds never un-trip the ledger.
+    fn refund(&self, n: u64) {
+        self.steps.fetch_sub(n, Ordering::Relaxed);
+    }
 }
 
 /// A [`Budget`] prepared for concurrent draining: hand each worker a
@@ -407,6 +441,7 @@ pub struct SharedBudget {
     started: Instant,
     cancel: Option<CancelToken>,
     fault: Option<FaultPlan>,
+    injector: Option<Arc<FaultInjector>>,
     tracer: obs::Tracer,
 }
 
@@ -426,6 +461,7 @@ impl SharedBudget {
             started,
             cancel: budget.cancel.clone(),
             fault: budget.fault.clone(),
+            injector: budget.injector(),
             tracer: budget.tracer(),
         }
     }
@@ -433,6 +469,11 @@ impl SharedBudget {
     /// The tracer all worker meters of this envelope record to.
     pub fn tracer(&self) -> &obs::Tracer {
         &self.tracer
+    }
+
+    /// The fault schedule all worker meters of this envelope consult.
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
     }
 
     /// A meter for one worker. Step and memory charges drain the
@@ -445,6 +486,7 @@ impl SharedBudget {
             max_memory: None,
             cancel: self.cancel.clone(),
             fault: self.fault.clone(),
+            injector: self.injector.clone(),
             fault_rng: self.fault.as_ref().map(|f| f.seed).unwrap_or(0),
             started: self.started,
             steps: 0,
@@ -478,8 +520,7 @@ impl SharedBudget {
             steps: self.ledger.steps.load(Ordering::Relaxed),
             elapsed: self.started.elapsed(),
             peak_memory: self.ledger.peak_memory.load(Ordering::Relaxed),
-            cache_hits: 0,
-            cache_misses: 0,
+            ..Default::default()
         }
     }
 }
@@ -497,8 +538,12 @@ pub enum ExhaustionReason {
     Deadline,
     /// The memory-proxy limit was spent.
     Memory,
-    /// A [`FaultPlan`] forced exhaustion.
+    /// A [`FaultPlan`] or [`FaultInjector`] forced exhaustion.
     FaultInjected,
+    /// One or more cells failed permanently (panicked past their retry
+    /// budget and were quarantined), so the result has holes even
+    /// though no resource wall was hit.
+    TaskFailure,
 }
 
 impl fmt::Display for ExhaustionReason {
@@ -508,6 +553,7 @@ impl fmt::Display for ExhaustionReason {
             ExhaustionReason::Deadline => write!(f, "deadline exceeded"),
             ExhaustionReason::Memory => write!(f, "memory budget exhausted"),
             ExhaustionReason::FaultInjected => write!(f, "injected fault"),
+            ExhaustionReason::TaskFailure => write!(f, "task(s) quarantined after repeated panics"),
         }
     }
 }
@@ -553,6 +599,13 @@ pub struct Spend {
     pub cache_hits: u64,
     /// Shared-cache misses observed.
     pub cache_misses: u64,
+    /// Supervised retries: panicking tasks that were re-executed. A
+    /// retried attempt's charges are rolled back, so retries never
+    /// inflate `steps`.
+    pub retries: u64,
+    /// Tasks quarantined after exhausting their retry budget — holes
+    /// in the result that the caller must treat as undecided.
+    pub quarantined: u64,
 }
 
 impl Spend {
@@ -565,6 +618,8 @@ impl Spend {
         self.peak_memory = self.peak_memory.max(other.peak_memory);
         self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
         self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.quarantined = self.quarantined.saturating_add(other.quarantined);
     }
 }
 
@@ -581,6 +636,12 @@ impl fmt::Display for Spend {
         }
         if self.cache_hits > 0 || self.cache_misses > 0 {
             write!(f, ", cache {}/{} hit", self.cache_hits, self.cache_hits + self.cache_misses)?;
+        }
+        if self.retries > 0 {
+            write!(f, ", {} retried", self.retries)?;
+        }
+        if self.quarantined > 0 {
+            write!(f, ", {} quarantined", self.quarantined)?;
         }
         Ok(())
     }
@@ -603,6 +664,7 @@ pub struct Meter {
     max_memory: Option<u64>,
     cancel: Option<CancelToken>,
     fault: Option<FaultPlan>,
+    injector: Option<Arc<FaultInjector>>,
     fault_rng: u64,
     started: Instant,
     steps: u64,
@@ -630,6 +692,7 @@ impl Meter {
             max_memory: budget.max_memory,
             cancel: budget.cancel.clone(),
             fault: budget.fault.clone(),
+            injector: budget.injector(),
             fault_rng: budget.fault.as_ref().map(|f| f.seed).unwrap_or(0),
             started,
             steps: 0,
@@ -730,6 +793,77 @@ impl Meter {
         self.charge(0)
     }
 
+    /// A named fault-injection site. No-op (a single `Option` check)
+    /// unless a [`FaultInjector`] schedule is attached to the budget or
+    /// the process. When this arrival is scheduled to fault:
+    ///
+    /// * [`FaultKind::Panic`] unwinds with the tagged injected-panic
+    ///   message (the executor's supervisor catches and retries);
+    /// * [`FaultKind::Cancel`] trips the meter as
+    ///   [`Interrupt::Cancelled`];
+    /// * [`FaultKind::Trip`] trips it as
+    ///   [`ExhaustionReason::FaultInjected`];
+    /// * [`FaultKind::Poison`] is reported back (`Ok(Some(Poison))`) —
+    ///   poisoning is consumed by storage sites, which corrupt the
+    ///   entry being written so integrity checks can catch it.
+    #[inline]
+    pub fn fault_point(
+        &mut self,
+        site: &'static str,
+    ) -> Result<Option<FaultKind>, Interrupt> {
+        let Some(injector) = &self.injector else {
+            return Ok(None);
+        };
+        match injector.arrive(site) {
+            None => Ok(None),
+            Some(FaultKind::Poison) => Ok(Some(FaultKind::Poison)),
+            Some(FaultKind::Panic) => fault::injected_panic(site),
+            Some(FaultKind::Cancel) => self.trip(Interrupt::Cancelled).map(|_| None),
+            Some(FaultKind::Trip) => self
+                .trip(Interrupt::Exhausted(ExhaustionReason::FaultInjected))
+                .map(|_| None),
+        }
+    }
+
+    /// The fault schedule this meter consults, if any.
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// Snapshot the meter's charge counters at the start of a
+    /// supervised attempt, so a panicking attempt can be rolled back
+    /// with [`rollback_to`](Self::rollback_to) and the eventual
+    /// successful attempt charges exactly once.
+    pub fn mark(&self) -> AttemptMark {
+        AttemptMark {
+            steps: self.steps,
+            memory: self.memory,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+        }
+    }
+
+    /// Roll the meter's charges back to `mark`, refunding the shared
+    /// ledger for the steps and memory the failed attempt drained.
+    /// Peak memory is a high-water mark and is deliberately retained;
+    /// a trip that already happened is never undone (the envelope was
+    /// genuinely exceeded, even if by wasted work).
+    pub fn rollback_to(&mut self, mark: &AttemptMark) {
+        let steps_delta = self.steps.saturating_sub(mark.steps);
+        let memory_delta = self.memory.saturating_sub(mark.memory);
+        self.steps = mark.steps;
+        self.memory = mark.memory;
+        self.cache_hits = mark.cache_hits;
+        self.cache_misses = mark.cache_misses;
+        // Re-arm the interval check so the next charge re-examines the
+        // clock and cancel flag promptly after the disruption.
+        self.next_check = 0;
+        if let Some(ledger) = &self.shared {
+            ledger.refund(steps_delta);
+            ledger.release_memory(memory_delta);
+        }
+    }
+
     fn trip(&mut self, i: Interrupt) -> Result<(), Interrupt> {
         // Publish to siblings first; an earlier trip by another worker
         // wins, so every meter in the pool reports the same interrupt.
@@ -795,8 +929,21 @@ impl Meter {
             peak_memory: self.peak_memory,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
+            ..Default::default()
         }
     }
+}
+
+/// A snapshot of a [`Meter`]'s charge counters taken by
+/// [`Meter::mark`] at the start of a supervised attempt; consumed by
+/// [`Meter::rollback_to`] when the attempt panics, so retried work is
+/// never double-charged.
+#[derive(Debug, Clone, Copy)]
+pub struct AttemptMark {
+    steps: u64,
+    memory: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -910,8 +1057,8 @@ impl<T> Governed<T> {
 pub mod prelude {
     pub use crate::obs::Tracer;
     pub use crate::{
-        Budget, CancelToken, ExhaustionReason, FaultPlan, Governed, Interrupt, Meter, SharedBudget,
-        Spend,
+        Budget, CancelToken, ExhaustionReason, FaultInjector, FaultKind, FaultPlan, Governed,
+        Interrupt, Meter, SharedBudget, Spend,
     };
 }
 
@@ -1178,6 +1325,7 @@ mod tests {
             peak_memory: 5,
             cache_hits: 2,
             cache_misses: 7,
+            ..Default::default()
         };
         total.absorb(&worker);
         total.absorb(&worker);
@@ -1204,12 +1352,16 @@ mod tests {
             peak_memory: 99,
             cache_hits: 3,
             cache_misses: 1,
+            retries: 2,
+            quarantined: 1,
         };
         let shown = format!("{spend}");
         assert!(shown.contains("1234 steps"), "steps in {shown:?}");
         assert!(shown.contains("42.0ms"), "elapsed in {shown:?}");
         assert!(shown.contains("99 mem units"), "memory in {shown:?}");
         assert!(shown.contains("cache 3/4 hit"), "cache ratio in {shown:?}");
+        assert!(shown.contains("2 retried"), "retries in {shown:?}");
+        assert!(shown.contains("1 quarantined"), "quarantine in {shown:?}");
         // Sparse spends omit the optional clauses entirely.
         let bare = format!(
             "{}",
@@ -1220,6 +1372,73 @@ mod tests {
         );
         assert!(!bare.contains("mem units"));
         assert!(!bare.contains("cache"));
+        assert!(!bare.contains("retried"));
+        assert!(!bare.contains("quarantined"));
+    }
+
+    #[test]
+    fn fault_point_trips_and_cancels_on_schedule() {
+        let injector = Arc::new(
+            FaultInjector::new(0)
+                .with_fault_at("test.trip", 2, FaultKind::Trip)
+                .with_fault_at("test.cancel", 1, FaultKind::Cancel),
+        );
+        let budget = Budget::unlimited().with_injector(Arc::clone(&injector));
+        let mut meter = budget.meter();
+        assert_eq!(meter.fault_point("test.trip"), Ok(None));
+        assert_eq!(
+            meter.fault_point("test.trip"),
+            Err(Interrupt::Exhausted(ExhaustionReason::FaultInjected))
+        );
+        // The trip is sticky, like any other interrupt.
+        assert!(meter.charge(1).is_err());
+
+        let mut fresh = budget.meter();
+        assert_eq!(fresh.fault_point("test.cancel"), Err(Interrupt::Cancelled));
+        assert_eq!(injector.n_fired(), 2);
+    }
+
+    #[test]
+    fn fault_point_panics_are_tagged_and_catchable() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let injector =
+            Arc::new(FaultInjector::new(0).with_fault_at("test.panic", 1, FaultKind::Panic));
+        let budget = Budget::unlimited().with_injector(injector);
+        let mut meter = budget.meter();
+        let err = catch_unwind(AssertUnwindSafe(|| meter.fault_point("test.panic"))).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.starts_with(fault::INJECTED_PANIC_PREFIX));
+        // The meter itself is untripped: a panic is a task failure, not
+        // an envelope wall, and the supervisor decides what follows.
+        assert_eq!(meter.charge(1), Ok(()));
+    }
+
+    #[test]
+    fn rollback_refunds_private_and_shared_charges() {
+        // Private meter.
+        let budget = Budget::new().with_steps(100);
+        let mut meter = budget.meter();
+        meter.charge(10).expect("within budget");
+        let mark = meter.mark();
+        meter.charge(30).expect("within budget");
+        meter.charge_memory(5).expect("no limit");
+        meter.note_cache_hit();
+        meter.rollback_to(&mark);
+        assert_eq!(meter.spend().steps, 10);
+        assert_eq!(meter.spend().cache_hits, 0);
+        // The refunded headroom is genuinely usable again.
+        meter.charge(90).expect("rollback refunded the envelope");
+
+        // Shared ledger: the refund reaches the pool.
+        let shared = Budget::new().with_steps(100).share();
+        let mut a = shared.worker_meter();
+        let mut b = shared.worker_meter();
+        a.charge(10).expect("fits");
+        let mark = a.mark();
+        a.charge(80).expect("fits");
+        a.rollback_to(&mark);
+        assert_eq!(shared.spend().steps, 10);
+        b.charge(90).expect("pool was refunded");
     }
 
     #[test]

@@ -24,6 +24,18 @@ SUMMA_TRACE=1 SUMMA_THREADS=4 cargo test -q -p summa-core --test integration_obs
 test -s target/trace_car_dog.json
 echo "    trace_car_dog.json: valid, non-empty"
 
+# Chaos lane: arm the process-global fault injector with a fixed,
+# replayable plan (panic/poison kinds only — the ones the supervisor
+# and cache integrity recover from silently) and re-run the resilience
+# suite sequentially and 4-way. Every governed run in the process
+# absorbs background faults and must still produce baseline answers.
+CHAOS_PLAN='exec.task@3=panic;dl.cache.insert@2=poison'
+echo "==> chaos lane: SUMMA_FAULT_PLAN='${CHAOS_PLAN}' SUMMA_FAULT_SEED=1405"
+SUMMA_FAULT_PLAN="$CHAOS_PLAN" SUMMA_FAULT_SEED=1405 SUMMA_THREADS=1 \
+    cargo test -q -p summa-core --test integration_resilience
+SUMMA_FAULT_PLAN="$CHAOS_PLAN" SUMMA_FAULT_SEED=1405 SUMMA_THREADS=4 \
+    cargo test -q -p summa-core --test integration_resilience
+
 # Bench smoke lane: one sample per classification strategy. The bench
 # itself asserts brute-force ≡ enhanced hierarchies and the diamond
 # sat-call acceptance ratio; the validator gates the report format.
