@@ -1,0 +1,161 @@
+//! Serving-layer latency/throughput bench: batched vs unbatched
+//! scheduling over the real TCP loopback path.
+//!
+//! Each lane starts an in-process [`summa_serve::server::Server`],
+//! drives it with concurrent synchronous clients, and measures
+//! client-observed latency per request. The report
+//! (`BENCH_serve.json`) carries p50/p95 latency and aggregate
+//! throughput per lane plus the scheduler's own batch counters, so the
+//! batched/unbatched comparison can be read both from the outside
+//! (wall clock) and the inside (batches actually coalesced).
+//!
+//! `SUMMA_BENCH_SMOKE=1` shrinks the run so CI can validate the report
+//! format without paying for a measurement.
+
+use criterion::json_escape;
+use std::fmt::Write as _;
+use std::time::Instant;
+use summa_serve::client::Client;
+use summa_serve::server::{Server, ServerConfig};
+use summa_serve::wire::STATUS_OK;
+
+fn smoke() -> bool {
+    std::env::var("SUMMA_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+struct LaneResult {
+    name: String,
+    max_batch: usize,
+    clients: usize,
+    requests: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+    throughput_rps: f64,
+    batches: u64,
+    max_batch_observed: u64,
+}
+
+/// Drive one lane: `clients` concurrent tenants, `per_client`
+/// subsumption queries each, against a server with the given
+/// batch ceiling.
+fn run_lane(name: &str, max_batch: usize, clients: usize, per_client: usize) -> LaneResult {
+    let server = Server::start(ServerConfig {
+        threads: 4,
+        max_batch,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let tenant = format!("bench-{t}");
+                let mut client = Client::connect(addr, &tenant).expect("connects");
+                let mut latencies = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let q0 = Instant::now();
+                    let resp = client
+                        .subsumes("vehicles", "car", "motorvehicle")
+                        .expect("answered");
+                    latencies.push(q0.elapsed().as_nanos() as u64);
+                    assert_eq!(resp.status, STATUS_OK);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let wall = t0.elapsed();
+    let stats = server.shutdown();
+    assert!(stats.reconciles(), "bench books reconcile: {stats:?}");
+    assert_eq!(stats.accepted, latencies.len() as u64);
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    LaneResult {
+        name: name.to_string(),
+        max_batch,
+        clients,
+        requests: latencies.len() as u64,
+        p50_ns: pct(0.50),
+        p95_ns: pct(0.95),
+        throughput_rps: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+        batches: stats.batches,
+        max_batch_observed: stats.max_batch,
+    }
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (clients, per_client) = if smoke() { (2, 8) } else { (4, 150) };
+
+    let lanes = [
+        run_lane("subsumes/unbatched", 1, clients, per_client),
+        run_lane("subsumes/batched", 8, clients, per_client),
+    ];
+
+    let mut entries = Vec::new();
+    for lane in &lanes {
+        println!(
+            "  {:<20} {} reqs x {} clients: p50 {} ns, p95 {} ns, {:.0} req/s, \
+             {} batches (max {})",
+            lane.name,
+            lane.requests,
+            lane.clients,
+            lane.p50_ns,
+            lane.p95_ns,
+            lane.throughput_rps,
+            lane.batches,
+            lane.max_batch_observed,
+        );
+        let mut e = String::new();
+        write!(
+            e,
+            "    {{\"name\": \"{}\", \"max_batch\": {}, \"clients\": {}, \
+             \"requests\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+             \"throughput_rps\": {:.1}, \"batches\": {}, \
+             \"max_batch_observed\": {}}}",
+            json_escape(&lane.name),
+            lane.max_batch,
+            lane.clients,
+            lane.requests,
+            lane.p50_ns,
+            lane.p95_ns,
+            lane.throughput_rps,
+            lane.batches,
+            lane.max_batch_observed,
+        )
+        .expect("write to string");
+        entries.push(e);
+    }
+
+    let summa_threads = match std::env::var("SUMMA_THREADS") {
+        Ok(v) => format!("\"{}\"", json_escape(&v)),
+        Err(_) => "null".to_string(),
+    };
+    let caveat = if smoke() {
+        ",\n  \"caveat\": \"smoke mode (SUMMA_BENCH_SMOKE=1): tiny request counts, figures are format placeholders; accounting assertions are exact either way\"".to_string()
+    } else {
+        String::new()
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"serve_latency\",\n  \"host_cpus\": {},\n  \"summa_threads_env\": {},\n  \"generated_at\": \"{}\"{},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        host_cpus,
+        summa_threads,
+        summa_bench::iso8601_utc_now(),
+        caveat,
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("\nwrote {path}");
+}

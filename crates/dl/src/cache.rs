@@ -29,7 +29,37 @@ use std::sync::{PoisonError, RwLock};
 /// [`entry_checksum`] over (key, answer): a flipped or poisoned entry
 /// no longer matches its checksum and is evicted on read instead of
 /// being served — degrading to a recompute, never to a wrong answer.
-type Shard = HashMap<(u64, Concept), (bool, u64), FxBuildHasher>;
+type ShardMap = HashMap<(u64, Concept), (bool, u64), FxBuildHasher>;
+
+/// One shard: its map plus its own hit/miss/corruption counters.
+/// Keeping the counters *per shard* (instead of three process-wide
+/// atomics every worker hammers) removes the last piece of cross-shard
+/// write sharing on the probe path, and — because each counter is
+/// updated at the probe itself, not buffered in worker state and
+/// drained at teardown — [`SatCache::stats`] is exact at every instant.
+/// A short-lived reader (a server answering one request and dropping
+/// its pool) sees the same totals a long-lived one would.
+#[derive(Debug, Default)]
+struct Shard {
+    map: RwLock<ShardMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corruptions: AtomicU64,
+}
+
+/// An exact snapshot of a cache's lifetime counters (summed across
+/// shards at the moment of the call).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Completed answers served.
+    pub hits: u64,
+    /// Probes that found nothing (or evicted a corrupt entry).
+    pub misses: u64,
+    /// Corrupted entries detected and evicted on read.
+    pub corruptions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
 
 /// Integrity checksum of one cache entry, bound to its full key and
 /// value. Any bit of the answer (or a cross-slot mixup of keys)
@@ -62,21 +92,13 @@ pub fn tbox_fingerprint(tbox: &TBox) -> u64 {
 /// threads. Cheap to clone behind an `Arc`; all methods take `&self`.
 #[derive(Debug, Default)]
 pub struct SatCache {
-    shards: Vec<RwLock<Shard>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    corruptions: AtomicU64,
+    shards: Vec<Shard>,
 }
 
 impl SatCache {
     pub fn new() -> Self {
         SatCache {
-            shards: (0..SHARDS)
-                .map(|_| RwLock::new(Shard::default()))
-                .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            corruptions: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
         }
     }
 
@@ -88,7 +110,7 @@ impl SatCache {
     /// property the key-stability unit test pins with golden values).
     /// The TBox *fingerprint* itself keeps its original `DefaultHasher`
     /// semantics; only the shard index changed hash functions.
-    fn shard(&self, tbox: u64, c: &Concept) -> &RwLock<Shard> {
+    fn shard(&self, tbox: u64, c: &Concept) -> &Shard {
         let mut h = FxHasher::default();
         tbox.hash(&mut h);
         c.hash(&mut h);
@@ -96,35 +118,38 @@ impl SatCache {
     }
 
     /// Look up a completed answer for `c` (already in NNF) under the
-    /// TBox with fingerprint `tbox`. Counts a hit or miss. An entry
-    /// whose checksum no longer matches (bit rot, injected poisoning)
-    /// is *evicted and reported as a miss* — the caller recomputes,
-    /// and the answer stays correct.
+    /// TBox with fingerprint `tbox`. Counts a hit or miss on the
+    /// shard's own counters at the probe itself. An entry whose
+    /// checksum no longer matches (bit rot, injected poisoning) is
+    /// *evicted and reported as a miss* — the caller recomputes, and
+    /// the answer stays correct.
     pub fn get(&self, tbox: u64, c: &Concept) -> Option<bool> {
         let shard = self.shard(tbox, c);
         let key = (tbox, c.clone());
         let found = shard
+            .map
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
             .copied();
         match found {
             Some((sat, sum)) if sum == entry_checksum(tbox, c, sat) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 Some(sat)
             }
             Some(_) => {
                 // Corrupted entry: evict, count, fall back to recompute.
-                self.corruptions.fetch_add(1, Ordering::Relaxed);
+                shard.corruptions.fetch_add(1, Ordering::Relaxed);
                 shard
+                    .map
                     .write()
                     .unwrap_or_else(PoisonError::into_inner)
                     .remove(&key);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -136,6 +161,7 @@ impl SatCache {
     pub fn insert(&self, tbox: u64, c: Concept, sat: bool) {
         let sum = entry_checksum(tbox, &c, sat);
         self.shard(tbox, &c)
+            .map
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .insert((tbox, c), (sat, sum));
@@ -149,31 +175,61 @@ impl SatCache {
     pub fn insert_poisoned(&self, tbox: u64, c: Concept, sat: bool) {
         let sum = entry_checksum(tbox, &c, sat);
         self.shard(tbox, &c)
+            .map
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .insert((tbox, c), (!sat, sum));
     }
 
-    /// Lifetime hit count.
+    /// Lifetime hit count (exact: summed over shard counters).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Lifetime miss count.
+    /// Lifetime miss count (exact: summed over shard counters).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.misses.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Corrupted entries detected (and evicted) on read.
     pub fn corruptions(&self) -> u64 {
-        self.corruptions.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.corruptions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// One coherent snapshot of every lifetime counter plus the entry
+    /// count. Because each shard counts at the probe (nothing is
+    /// buffered per worker and drained at teardown), the snapshot is
+    /// exact even for a cache whose pool was just dropped — the
+    /// property the serving layer relies on for per-request accounting.
+    pub fn stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for s in &self.shards {
+            out.hits += s.hits.load(Ordering::Relaxed);
+            out.misses += s.misses.load(Ordering::Relaxed);
+            out.corruptions += s.corruptions.load(Ordering::Relaxed);
+            out.entries += s
+                .map
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len();
+        }
+        out
     }
 
     /// Cached entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .map(|s| s.map.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 
@@ -218,6 +274,51 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.len(), 1);
+        // stats() is the same information as one coherent snapshot.
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                corruptions: 0,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn stats_are_exact_without_any_teardown_drain() {
+        // Counters live on the shards and are bumped at the probe, so a
+        // snapshot taken while worker threads still exist — or right
+        // after a short-lived pool dropped — is already exact. Every
+        // probe is accounted; nothing waits for a teardown drain.
+        use std::sync::Arc;
+        let mut voc = Vocabulary::new();
+        let atoms: Vec<Concept> = (0..32)
+            .map(|i| Concept::atom(voc.concept(&format!("S{i}"))))
+            .collect();
+        let cache = Arc::new(SatCache::new());
+        for (i, c) in atoms.iter().enumerate() {
+            cache.insert(3, c.clone(), i % 2 == 0);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let atoms = &atoms;
+                scope.spawn(move || {
+                    for c in atoms {
+                        cache.get(3, c); // hit
+                        cache.get(4, c); // miss (other fingerprint)
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits, 4 * 32);
+        assert_eq!(s.misses, 4 * 32);
+        assert_eq!(s.corruptions, 0);
+        assert_eq!(s.entries, 32);
+        assert_eq!((s.hits, s.misses), (cache.hits(), cache.misses()));
     }
 
     #[test]

@@ -63,15 +63,15 @@ pub mod tbox;
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
     pub use crate::abox::{ABox, Individual};
-    pub use crate::cache::{tbox_fingerprint, SatCache};
+    pub use crate::cache::{tbox_fingerprint, CacheStats, SatCache};
     pub use crate::checkpoint::{
         abox_fingerprint, kb_fingerprint, Checkpoint, CheckpointError, CheckpointState,
         ResumeOutcome,
     };
     pub use crate::classify::{
         classify_brute_force_governed, classify_enhanced_checkpointed, classify_enhanced_governed,
-        classify_parallel_governed, classify_resume_from, ClassHierarchy, ClassifyRun,
-        ClassifyStats, Classifier,
+        classify_parallel_governed, classify_parallel_governed_with, classify_resume_from,
+        ClassHierarchy, ClassifyRun, ClassifyStats, Classifier,
     };
     pub use crate::concept::{CNode, Concept, ConceptId, ConceptRef, Interner, RoleId, Vocabulary};
     pub use crate::corpus::{animals_tbox, animals_tbox_repaired, vehicles_tbox, PaperVocab};
@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::parser::{parse_axiom, parse_concept};
     pub use crate::realize::{
         realize, realize_checkpointed, realize_governed, realize_parallel_governed,
-        realize_resume_from, Realization, RealizeRun,
+        realize_parallel_governed_with, realize_resume_from, Realization, RealizeRun,
     };
     pub use crate::tableau::Tableau;
     pub use crate::tbox::{Axiom, TBox};

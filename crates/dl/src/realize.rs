@@ -280,10 +280,30 @@ pub fn realize_parallel_governed(
     budget: &Budget,
     threads: usize,
 ) -> Governed<Realization> {
-    use crate::cache::SatCache;
+    use std::sync::Arc;
+    let cache = Arc::new(crate::cache::SatCache::new());
+    realize_parallel_governed_with(tbox, abox, voc, budget, threads, cache).0
+}
+
+/// [`realize_parallel_governed`] against a caller-supplied shared
+/// [`SatCache`](crate::cache::SatCache), also returning the run's
+/// pooled [`Spend`]. Mirrors
+/// [`classify_parallel_governed_with`](crate::classify::classify_parallel_governed_with):
+/// workers tear down through a drain hook that harvests interner hits
+/// accrued after their last completed sat call — previously this path
+/// used the drain-less `par_map_with` and silently dropped them on the
+/// scope join, so a short-lived pool (one served request) under-counted
+/// `dl.intern.hits`.
+pub fn realize_parallel_governed_with(
+    tbox: &TBox,
+    abox: &ABox,
+    voc: &Vocabulary,
+    budget: &Budget,
+    threads: usize,
+    cache: std::sync::Arc<crate::cache::SatCache>,
+) -> (Governed<Realization>, summa_guard::Spend) {
     use std::sync::Arc;
 
-    let cache = Arc::new(SatCache::new());
     let individuals: Vec<Individual> = abox.individuals().collect();
     let atoms: Vec<ConceptId> = voc.concepts().collect();
     let atoms_ref = &atoms;
@@ -292,7 +312,8 @@ pub fn realize_parallel_governed(
         .span("dl.realize.parallel")
         .with("individuals", individuals.len())
         .with("threads", threads);
-    let outcome = summa_exec::par_map_with(
+    let tracer = budget.tracer().clone();
+    let outcome = summa_exec::par_map_with_drain(
         &individuals,
         budget,
         threads,
@@ -310,8 +331,15 @@ pub fn realize_parallel_governed(
             let specific = most_specific_of_set(reasoner, meter, &set)?;
             Ok((set, specific))
         },
+        |_, mut reasoner: Tableau| {
+            let d = reasoner.drain_intern_hits();
+            if d > 0 {
+                tracer.add("dl.intern.hits", d);
+            }
+        },
     );
-    outcome.into_governed(|slots| {
+    let spend = outcome.spend;
+    let governed = outcome.into_governed(|slots| {
         let mut types = BTreeMap::new();
         let mut most_specific = BTreeMap::new();
         for (ind, slot) in individuals.iter().zip(slots) {
@@ -324,7 +352,8 @@ pub fn realize_parallel_governed(
             types,
             most_specific,
         })
-    })
+    });
+    (governed, spend)
 }
 
 /// Filter an individual's entailed types down to the most specific

@@ -1,0 +1,30 @@
+//! Start a reasoning server on a local port and keep serving until
+//! the process is killed — the README's "poke it with netcat" demo.
+//!
+//! ```text
+//! cargo run --release -p summa-serve --example serve_demo
+//! ```
+//!
+//! Prints the bound address (pass a port as the first argument to pin
+//! one; defaults to an OS-assigned ephemeral port being printed), the
+//! builtin snapshots, and a ready-to-paste `printf | nc` ping.
+
+use summa_serve::server::{Server, ServerConfig};
+
+fn main() {
+    let server = Server::start(ServerConfig::default()).expect("server starts");
+    let addr = server.addr();
+    println!("summa-serve listening on {addr}");
+    println!("snapshots: {:?}", server.store().names());
+    println!();
+    println!("ping it (17-byte frame: version 1, op 0, id 1, tenant \"cli\"):");
+    println!(
+        "  printf '\\x11\\x00\\x00\\x00\\x01\\x00\\x01\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x03\\x00\\x00\\x00cli' \\"
+    );
+    println!("    | nc {} {} | xxd", addr.ip(), addr.port());
+    println!();
+    println!("serving until killed (ctrl-c) ...");
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,211 @@
+//! Soak harness for summa-serve, run by `scripts/tier1.sh`.
+//!
+//! Three phases, each a hard assertion (the process exits nonzero on
+//! the first violation):
+//!
+//! 1. **Stress** — 8 concurrent tenants hammer a mixed workload; every
+//!    request must be answered OK (zero dropped requests), the queue
+//!    depth must stay within its configured bound, and the final drain
+//!    must reconcile exactly (`accepted == completed`, every frame
+//!    accounted).
+//! 2. **Backpressure** — tiny per-tenant step quotas; every tenant
+//!    must see real work complete *and* then a typed
+//!    `quota_exhausted` rejection on a connection that stays alive.
+//!    Overload is never a disconnect.
+//! 3. **Drain under load** — shutdown races 4 clients mid-burst;
+//!    everything admitted before the drain flag is answered, late
+//!    arrivals get typed `draining` rejections or a clean close, and
+//!    the books still reconcile.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use summa_serve::client::Client;
+use summa_serve::server::{Server, ServerConfig};
+use summa_serve::wire::{
+    decode_overload, Overload, Request, STATUS_OK, STATUS_OVERLOADED,
+};
+
+fn mixed_workload() -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::Subsumes {
+            snapshot: "vehicles".into(),
+            sub: "car".into(),
+            sup: "motorvehicle".into(),
+        },
+        Request::Subsumes {
+            snapshot: "animals".into(),
+            sub: "dog".into(),
+            sup: "animal".into(),
+        },
+        Request::Classify {
+            snapshot: "vehicles".into(),
+        },
+        Request::Realize {
+            snapshot: "vehicles".into(),
+            abox: "beetle : car\n".into(),
+        },
+        Request::Admit {
+            artifact: "vehicles TBox (4)".into(),
+            definition: "Gruber (functional)".into(),
+        },
+    ]
+}
+
+fn phase_stress() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 7;
+    let queue_capacity = 64;
+    let server = Server::start(ServerConfig {
+        threads: 4,
+        max_batch: 8,
+        queue_capacity,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let workload = Arc::new(mixed_workload());
+    let answered = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let workload = Arc::clone(&workload);
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                let tenant = format!("stress-{t}");
+                let mut client = Client::connect(addr, &tenant).expect("connects");
+                for _ in 0..ROUNDS {
+                    for req in workload.iter() {
+                        let resp = client.call(req.clone()).expect("answered");
+                        assert_eq!(resp.status, STATUS_OK, "stress request must succeed");
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let sent = (CLIENTS * ROUNDS * mixed_workload().len()) as u64;
+    assert_eq!(answered.load(Ordering::Relaxed), sent, "zero dropped requests");
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, sent);
+    assert_eq!(stats.completed, sent);
+    assert_eq!(stats.engine_errors, 0);
+    assert!(stats.reconciles(), "exact accounting: {stats:?}");
+    assert!(
+        stats.max_queue_depth <= queue_capacity as u64,
+        "queue depth bounded: {} <= {queue_capacity}",
+        stats.max_queue_depth
+    );
+    println!(
+        "  stress: {sent} requests, {} batches (max {}), queue high-water {} — OK",
+        stats.batches, stats.max_batch, stats.max_queue_depth
+    );
+}
+
+fn phase_backpressure() {
+    const CLIENTS: usize = 4;
+    let server = Server::start(ServerConfig {
+        threads: 2,
+        tenant_step_quota: Some(60),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let tenant = format!("quota-{t}");
+                let mut client = Client::connect(addr, &tenant).expect("connects");
+                let (mut oks, mut quota_rejects) = (0u64, 0u64);
+                for _ in 0..48 {
+                    let resp = client
+                        .subsumes("vehicles", "car", "motorvehicle")
+                        .expect("typed answer, never a disconnect");
+                    match resp.status {
+                        STATUS_OK => {
+                            assert_eq!(quota_rejects, 0, "no OK after the quota trips");
+                            oks += 1;
+                        }
+                        STATUS_OVERLOADED => {
+                            let (kind, _) = decode_overload(&resp.body).expect("typed body");
+                            assert_eq!(kind, Overload::QuotaExhausted);
+                            quota_rejects += 1;
+                        }
+                        other => panic!("unexpected status {other}"),
+                    }
+                }
+                assert!(oks > 0, "quota admitted real work first");
+                assert!(quota_rejects > 0, "quota eventually rejected, typed");
+                // The connection is still alive and serves admin ops.
+                let stats = client.stats().expect("stats answered");
+                assert_eq!(stats.status, STATUS_OK);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let stats = server.shutdown();
+    assert!(stats.rejected_overload > 0);
+    assert!(stats.reconciles(), "exact accounting: {stats:?}");
+    println!(
+        "  backpressure: {} served, {} typed overload rejections — OK",
+        stats.completed, stats.rejected_overload
+    );
+}
+
+fn phase_drain_under_load() {
+    let server = Server::start(ServerConfig {
+        threads: 2,
+        max_batch: 4,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let tenant = format!("drain-{t}");
+                let mut client = Client::connect(addr, &tenant).expect("connects");
+                for _ in 0..200 {
+                    match client.subsumes("vehicles", "car", "motorvehicle") {
+                        // Served, or typed draining rejection: both fine.
+                        Ok(resp) => {
+                            assert!(
+                                resp.status == STATUS_OK || resp.status == STATUS_OVERLOADED,
+                                "unexpected status {}",
+                                resp.status
+                            );
+                        }
+                        // The server closed the stream during drain.
+                        Err(_) => break,
+                    }
+                }
+            })
+        })
+        .collect();
+    // Let the burst get going, then drain out from under it.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let stats = server.shutdown();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    assert!(stats.reconciles(), "drain keeps exact books: {stats:?}");
+    assert!(stats.accepted > 0, "the burst did real work before the drain");
+    println!(
+        "  drain: {} answered mid-burst, {} typed rejections, books exact — OK",
+        stats.completed, stats.rejected_overload
+    );
+}
+
+fn main() {
+    println!("serve_soak: stress");
+    phase_stress();
+    println!("serve_soak: backpressure");
+    phase_backpressure();
+    println!("serve_soak: drain under load");
+    phase_drain_under_load();
+    println!("serve_soak: OK");
+}

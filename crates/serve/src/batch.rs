@@ -1,0 +1,272 @@
+//! The batching scheduler: coalesces compatible queued requests and
+//! runs each batch on the [`summa_exec`] pool.
+//!
+//! Two requests are *compatible* when they read the same snapshot
+//! generation — equal `(fingerprint, epoch)` keys (requests that read
+//! no snapshot share the `None` key). A batch is popped head-first
+//! from the bounded queue, greedily extended with up to
+//! `max_batch - 1` later compatible entries (preserving arrival order
+//! within the batch), and executed as one `par_map` over the pool.
+//!
+//! Batching is a **throughput** device, never a semantics device: each
+//! request still executes under its own private budget, tableau, and
+//! cache inside [`crate::ops::execute`], so a batched answer is
+//! byte-identical to an unbatched one. The pool's envelope only ever
+//! charges one step per request.
+
+use crate::ops;
+use crate::server::Shared;
+use crate::wire::{self, Envelope, Response};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Requests reading the same snapshot generation share a key and may
+/// coalesce; `None` keys (ping/admit/critique) coalesce together.
+pub(crate) type BatchKey = Option<(u64, u64)>;
+
+/// One admitted request waiting for (or holding) its response.
+pub(crate) struct Pending {
+    pub env: Envelope,
+    pub key: BatchKey,
+    pub slot: Arc<Slot>,
+}
+
+/// A one-shot response cell the connection handler blocks on. `fill`
+/// returns whether this call was the first (supervised retries may
+/// re-run a cell whose previous attempt already answered — the second
+/// answer is dropped and must not double-account).
+pub(crate) struct Slot {
+    cell: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct SlotState {
+    /// Sticky: stays true after the waiter takes the response, so a
+    /// late duplicate fill (retry sweep) still loses.
+    filled: bool,
+    resp: Option<Response>,
+}
+
+impl Slot {
+    pub fn new() -> Slot {
+        Slot {
+            cell: Mutex::new(SlotState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deposit the response; first fill wins — forever, even after the
+    /// waiter has already collected it.
+    pub fn fill(&self, resp: Response, _steps: u64) -> bool {
+        let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.filled {
+            return false;
+        }
+        state.filled = true;
+        state.resp = Some(resp);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Block until the response arrives.
+    pub fn wait(&self) -> Response {
+        let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(resp) = state.resp.take() {
+                return resp;
+            }
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// How many times a batch whose `serve.batch` fault site faulted is
+/// re-attempted before every request in it degrades to a typed engine
+/// error. Mirrors the executor's per-cell retry budget.
+const BATCH_ATTEMPTS: u32 = 3;
+
+/// The scheduler thread body: pop → coalesce → execute, until the
+/// server drains. On drain the loop keeps scheduling until the queue
+/// is empty, so every admitted request is answered before exit.
+pub(crate) fn scheduler_loop(shared: Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut q = shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(first) = q.pop_front() {
+                    break collect_batch(first, &mut q, shared.cfg.max_batch);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return; // queue empty and no more admissions: done
+                }
+                q = shared
+                    .queue_cv
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        run_batch(&shared, batch);
+    }
+}
+
+/// Greedily extend `first` with compatible entries (same key), keeping
+/// queue order for both the batch and the left-behind entries.
+fn collect_batch(first: Pending, q: &mut VecDeque<Pending>, max_batch: usize) -> Vec<Pending> {
+    let mut batch = vec![first];
+    let mut i = 0;
+    while batch.len() < max_batch.max(1) && i < q.len() {
+        if q[i].key == batch[0].key {
+            // remove(i) preserves the relative order of the rest.
+            if let Some(p) = q.remove(i) {
+                batch.push(p);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    batch
+}
+
+/// Execute one batch on the exec pool and answer every request in it.
+/// The `serve.batch` fault site is supervised: an injected panic (or
+/// trip) is retried up to [`BATCH_ATTEMPTS`] times; past that, every
+/// request in the batch receives a typed engine error — admitted work
+/// is always answered, never dropped.
+fn run_batch(shared: &Arc<Shared>, batch: Vec<Pending>) {
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .max_batch
+        .fetch_max(batch.len() as u64, Ordering::Relaxed);
+    let depth = shared
+        .queue
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .len();
+    let mut span = shared
+        .tracer
+        .span("serve.batch")
+        .with("size", batch.len())
+        .with("queue_depth", depth);
+
+    let mut attempts = 0u32;
+    let ran = loop {
+        attempts += 1;
+        // The chaos site for the scheduler itself, armed through the
+        // pool budget's injector (per-request plans never see it).
+        let gate = catch_unwind(AssertUnwindSafe(|| {
+            shared.cfg.pool_budget.meter().fault_point("serve.batch")
+        }));
+        match gate {
+            Ok(Ok(_)) => break true,
+            Ok(Err(_)) | Err(_) if attempts < BATCH_ATTEMPTS => {
+                shared.counters.batch_retries.fetch_add(1, Ordering::Relaxed);
+                shared.tracer.add("serve.batch.retry", 1);
+            }
+            _ => break false,
+        }
+    };
+
+    if !ran {
+        span.record("failed", true);
+        for p in &batch {
+            answer(
+                shared,
+                p,
+                wire::STATUS_ENGINE_ERROR,
+                wire::engine_error_body("batch execution failed after retries"),
+                0,
+                0,
+                0,
+            );
+        }
+        return;
+    }
+
+    // One pool envelope per batch; each cell charges a single step to
+    // it, then executes the request under the request's own budget.
+    // Answers publish as they complete (publish-as-you-go), so a slow
+    // request never holds back a finished sibling's response.
+    let outcome = summa_exec::par_map(
+        &batch,
+        &shared.cfg.pool_budget,
+        shared.cfg.threads,
+        |meter, _, p: &Pending| {
+            meter.charge(1)?;
+            let _span = shared
+                .tracer
+                .span("serve.request")
+                .with("op", p.env.request.op().name());
+            let t0 = Instant::now();
+            let rb = shared.cfg.request_budget();
+            let ex = ops::execute(&shared.store, &p.env.request, &rb);
+            let elapsed_ns = t0.elapsed().as_nanos() as u64;
+            answer(shared, p, ex.status, ex.body, ex.epoch, ex.steps, elapsed_ns);
+            shared.tracer.record_ns("serve.request.ns", elapsed_ns);
+            Ok(())
+        },
+    );
+
+    // Quarantined or interrupted cells never reached `answer`; their
+    // requests still get a typed response — exact accounting survives
+    // pool-level failures.
+    if !outcome.is_complete() {
+        span.record("holes", true);
+    }
+    for p in &batch {
+        answer(
+            shared,
+            p,
+            wire::STATUS_ENGINE_ERROR,
+            wire::engine_error_body("request quarantined by the batch supervisor"),
+            0,
+            0,
+            0,
+        );
+    }
+}
+
+/// Fill a request's slot (first fill wins) and do the per-answer
+/// accounting exactly once: tenant ledger, counters, trace counters.
+#[allow(clippy::too_many_arguments)]
+fn answer(
+    shared: &Arc<Shared>,
+    p: &Pending,
+    status: u8,
+    body: Vec<u8>,
+    epoch: u64,
+    steps: u64,
+    elapsed_ns: u64,
+) {
+    let resp = Response {
+        id: p.env.id,
+        status,
+        elapsed_ns,
+        trace_id: shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1,
+        epoch,
+        body,
+    };
+    if !p.slot.fill(resp, steps) {
+        return; // a retried attempt already answered
+    }
+    if status == wire::STATUS_ENGINE_ERROR {
+        shared.counters.engine_errors.fetch_add(1, Ordering::Relaxed);
+        shared.tracer.add("serve.engine_error", 1);
+    }
+    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    let mut tenants = shared
+        .tenants
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(t) = tenants.get_mut(&p.env.tenant) {
+        t.pending = t.pending.saturating_sub(1);
+        t.consumed_steps = t.consumed_steps.saturating_add(steps);
+    }
+}

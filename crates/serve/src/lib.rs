@@ -1,0 +1,49 @@
+//! # summa-serve — a batched, multi-tenant reasoning service
+//!
+//! Serves the `summa_dl` / `summa_core` reasoning surface over a
+//! length-prefixed, versioned binary TCP protocol: `ping`, `subsumes`,
+//! `classify`, `realize`, `admit`, `critique`, plus admin ops for
+//! snapshot hot-swap and server stats. Every response carries the
+//! request's deterministic [`summa_guard::Spend`] and a trace handle.
+//!
+//! The service is built from four layers:
+//!
+//! * [`wire`] — the protocol: framing, request/response codecs, typed
+//!   protocol errors, typed overload rejections.
+//! * [`snapshot`] — epoch-versioned ontology snapshots; hot-swap never
+//!   blocks in-flight queries (old generations stay alive via `Arc`).
+//! * the batching scheduler — coalesces requests that read the same
+//!   snapshot generation onto one `summa_exec` pool dispatch. Batching
+//!   changes throughput, never answers: each request runs under its
+//!   own private budget, tableau, and cache ([`ops::execute`]), so a
+//!   served answer is byte-identical to a direct library call.
+//! * [`server`] — admission control (bounded queue, per-tenant
+//!   in-flight caps and step quotas; overload is a *typed response*,
+//!   never a disconnect) and graceful drain with exact accounting
+//!   (`accepted == completed`, always).
+//!
+//! Chaos coverage rides through the existing `summa_guard` fault
+//! plane: the server exposes `serve.accept` and `serve.batch` fault
+//! sites on its pool budget, and each request budget can arm a
+//! deterministic per-request plan (used by the conformance suite).
+//!
+//! No dependencies beyond the workspace.
+
+pub mod client;
+pub mod ops;
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+pub(crate) mod batch;
+
+pub mod prelude {
+    pub use crate::client::Client;
+    pub use crate::server::{ServeStats, Server, ServerConfig};
+    pub use crate::snapshot::{parse_tbox, Snapshot, SnapshotStore};
+    pub use crate::wire::{
+        Envelope, OkBody, Op, Overload, Payload, ProtoError, Request, Response,
+        OUTCOME_CANCELLED, OUTCOME_COMPLETED, OUTCOME_EXHAUSTED, STATUS_ENGINE_ERROR,
+        STATUS_OK, STATUS_OVERLOADED, STATUS_PROTOCOL_ERROR,
+    };
+}

@@ -1,0 +1,553 @@
+//! The operations behind the wire protocol, shared verbatim between
+//! the server's batch executor and the conformance suite.
+//!
+//! [`execute`] is *the* direct library call: the server invokes it for
+//! every batched request, and `tests/integration_serve.rs` invokes it
+//! straight from the test process and compares bytes. Determinism
+//! contract: for a fixed snapshot, request, and request [`Budget`]
+//! (including any per-request fault injector), the returned
+//! [`Executed::body`] is byte-identical across runs, thread counts,
+//! and transport — because
+//!
+//! * every request reasons against a **private** [`Tableau`] and a
+//!   **fresh** [`SatCache`] (no cross-request warmth leaks into
+//!   `Spend.cache_hits`),
+//! * parallel substrates run at `threads = 1` *inside* a request
+//!   (parallelism comes from batching many requests, which never
+//!   shares an envelope), and
+//! * `Spend.elapsed` — the one wall-clock field — never enters the
+//!   body (it rides in the response header).
+
+use crate::snapshot::SnapshotStore;
+use crate::wire::{
+    self, put_spend, put_str, put_u32, put_u64, ProtoError, Request, OUTCOME_CANCELLED,
+    OUTCOME_COMPLETED, OUTCOME_EXHAUSTED, REASON_DEADLINE, REASON_FAULT, REASON_MEMORY,
+    REASON_NONE, REASON_STEPS, REASON_TASK_FAILURE, STATUS_OK, STATUS_PROTOCOL_ERROR,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use summa_core::prelude::{standard_corpus, standard_definitions, Verdict};
+use summa_dl::abox::ABox;
+use summa_dl::cache::SatCache;
+use summa_dl::classify::classify_parallel_governed_with;
+use summa_dl::concept::{Concept, Vocabulary};
+use summa_dl::parser::parse_concept;
+use summa_dl::realize::realize_parallel_governed_with;
+use summa_dl::tableau::Tableau;
+use summa_guard::{Budget, ExhaustionReason, Governed, Interrupt, Spend};
+
+/// The result of executing one request: a wire status, the
+/// deterministic body bytes, the snapshot epoch answered against (0 if
+/// none), and the steps to charge the tenant's quota.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Executed {
+    pub status: u8,
+    pub body: Vec<u8>,
+    pub epoch: u64,
+    pub steps: u64,
+}
+
+impl Executed {
+    fn proto(e: ProtoError, epoch: u64) -> Executed {
+        Executed {
+            status: STATUS_PROTOCOL_ERROR,
+            body: wire::protocol_error_body(&e),
+            epoch,
+            steps: 0,
+        }
+    }
+}
+
+fn interrupt_codes(i: Interrupt) -> (u8, u8) {
+    match i {
+        Interrupt::Cancelled => (OUTCOME_CANCELLED, REASON_NONE),
+        Interrupt::Exhausted(r) => (
+            OUTCOME_EXHAUSTED,
+            match r {
+                ExhaustionReason::Steps => REASON_STEPS,
+                ExhaustionReason::Deadline => REASON_DEADLINE,
+                ExhaustionReason::Memory => REASON_MEMORY,
+                ExhaustionReason::FaultInjected => REASON_FAULT,
+                ExhaustionReason::TaskFailure => REASON_TASK_FAILURE,
+            },
+        ),
+    }
+}
+
+/// Start an OK body: governed outcome + reason + deterministic spend.
+fn governed_header(buf: &mut Vec<u8>, outcome: u8, reason: u8, spend: &Spend) {
+    buf.push(outcome);
+    buf.push(reason);
+    put_spend(buf, spend);
+}
+
+fn ok_body(outcome: u8, reason: u8, spend: &Spend, payload: Option<Vec<u8>>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    governed_header(&mut buf, outcome, reason, spend);
+    match payload {
+        None => buf.push(0),
+        Some(p) => {
+            buf.push(1);
+            buf.extend_from_slice(&p);
+        }
+    }
+    buf
+}
+
+/// Map a `Governed<T>` plus a payload serializer onto an OK body.
+/// Completed results always carry a payload; interrupted ones carry
+/// the partial when the substrate salvaged one.
+fn governed_body<T>(g: &Governed<T>, spend: &Spend, ser: impl Fn(&T) -> Vec<u8>) -> Vec<u8> {
+    match g {
+        Governed::Completed(t) => ok_body(OUTCOME_COMPLETED, REASON_NONE, spend, Some(ser(t))),
+        Governed::Exhausted { reason, partial } => {
+            let (_, rc) = interrupt_codes(Interrupt::Exhausted(*reason));
+            ok_body(OUTCOME_EXHAUSTED, rc, spend, partial.as_ref().map(&ser))
+        }
+        Governed::Cancelled { partial } => ok_body(
+            OUTCOME_CANCELLED,
+            REASON_NONE,
+            spend,
+            partial.as_ref().map(&ser),
+        ),
+    }
+}
+
+/// Verdict wire codes.
+pub fn verdict_code(v: Verdict) -> u8 {
+    match v {
+        Verdict::Admitted => 0,
+        Verdict::Rejected => 1,
+        Verdict::Undecidable => 2,
+        Verdict::Unknown => 3,
+    }
+}
+
+/// Parse ABox text: one assertion per line, `#` comments and blank
+/// lines ignored. Two forms:
+///
+/// * `name : <concept-expr>` — a concept assertion (the expression
+///   uses the [`summa_dl::parser`] grammar);
+/// * `a role b` — a role assertion (three bare tokens).
+pub fn parse_abox(text: &str, voc: &mut Vocabulary) -> Result<ABox, String> {
+    let mut abox = ABox::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, expr)) = line.split_once(':') {
+            let name = name.trim();
+            if name.is_empty() || name.split_whitespace().count() != 1 {
+                return Err(format!("line {}: bad individual name", lineno + 1));
+            }
+            let c = parse_concept(expr.trim(), voc)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let ind = abox.individual(name);
+            abox.assert_concept(ind, c);
+        } else {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() != 3 {
+                return Err(format!(
+                    "line {}: expected `name : concept` or `a role b`",
+                    lineno + 1
+                ));
+            }
+            let a = abox.individual(toks[0]);
+            let r = voc.role(toks[1]);
+            let b = abox.individual(toks[2]);
+            abox.assert_role(a, r, b);
+        }
+    }
+    Ok(abox)
+}
+
+/// Execute one request against the store under the given per-request
+/// budget. This function **is** the conformance baseline — see the
+/// module docs.
+pub fn execute(store: &SnapshotStore, req: &Request, budget: &Budget) -> Executed {
+    match req {
+        Request::Ping => Executed {
+            status: STATUS_OK,
+            body: ok_body(
+                OUTCOME_COMPLETED,
+                REASON_NONE,
+                &Spend::default(),
+                Some(Vec::new()),
+            ),
+            epoch: 0,
+            steps: 0,
+        },
+        Request::Subsumes { snapshot, sub, sup } => {
+            let Some(snap) = store.get(snapshot) else {
+                return Executed::proto(ProtoError::UnknownSnapshot(snapshot.clone()), 0);
+            };
+            // Query-local names intern into a private vocabulary clone,
+            // so concurrent requests never race on the snapshot's.
+            let mut voc = snap.voc.clone();
+            let sub_c = match parse_concept(sub, &mut voc) {
+                Ok(c) => c,
+                Err(e) => {
+                    return Executed::proto(ProtoError::ParseError(e.to_string()), snap.epoch)
+                }
+            };
+            let sup_c = match parse_concept(sup, &mut voc) {
+                Ok(c) => c,
+                Err(e) => {
+                    return Executed::proto(ProtoError::ParseError(e.to_string()), snap.epoch)
+                }
+            };
+            let mut reasoner = Tableau::new(&snap.tbox, &voc);
+            let mut meter = budget.meter();
+            // sub ⊑ sup  iff  sub ⊓ ¬sup is unsatisfiable.
+            let query = Concept::and(vec![sub_c, Concept::not(sup_c)]);
+            let answer = reasoner.sat_metered(&query, &mut meter);
+            let spend = meter.spend();
+            let body = match answer {
+                Ok(sat) => ok_body(
+                    OUTCOME_COMPLETED,
+                    REASON_NONE,
+                    &spend,
+                    Some(vec![u8::from(!sat)]),
+                ),
+                Err(i) => {
+                    let (oc, rc) = interrupt_codes(i);
+                    ok_body(oc, rc, &spend, None)
+                }
+            };
+            Executed {
+                status: STATUS_OK,
+                body,
+                epoch: snap.epoch,
+                steps: spend.steps,
+            }
+        }
+        Request::Classify { snapshot } => {
+            let Some(snap) = store.get(snapshot) else {
+                return Executed::proto(ProtoError::UnknownSnapshot(snapshot.clone()), 0);
+            };
+            // Fresh private cache: within-request reuse only, so the
+            // spend's cache counters are history-independent.
+            let cache = Arc::new(SatCache::new());
+            let (governed, spend) =
+                classify_parallel_governed_with(&snap.tbox, &snap.voc, budget, 1, cache);
+            let body = governed_body(&governed, &spend, |h| {
+                let mut p = Vec::new();
+                let rows: Vec<_> = h.concepts().collect();
+                put_u32(&mut p, rows.len() as u32);
+                for c in rows {
+                    put_str(&mut p, snap.voc.concept_name(c));
+                    let subs = h.subsumers_ref(c).cloned().unwrap_or_default();
+                    put_u32(&mut p, subs.len() as u32);
+                    for s in subs {
+                        put_str(&mut p, snap.voc.concept_name(s));
+                    }
+                }
+                p
+            });
+            Executed {
+                status: STATUS_OK,
+                epoch: snap.epoch,
+                steps: spend.steps,
+                body,
+            }
+        }
+        Request::Realize { snapshot, abox } => {
+            let Some(snap) = store.get(snapshot) else {
+                return Executed::proto(ProtoError::UnknownSnapshot(snapshot.clone()), 0);
+            };
+            let mut voc = snap.voc.clone();
+            let parsed = match parse_abox(abox, &mut voc) {
+                Ok(a) => a,
+                Err(e) => return Executed::proto(ProtoError::ParseError(e), snap.epoch),
+            };
+            let cache = Arc::new(SatCache::new());
+            let (governed, spend) =
+                realize_parallel_governed_with(&snap.tbox, &parsed, &voc, budget, 1, cache);
+            let body = governed_body(&governed, &spend, |real| {
+                let mut p = Vec::new();
+                let decided: Vec<_> = parsed
+                    .individuals()
+                    .filter(|&i| real.types_ref(i).is_some())
+                    .collect();
+                put_u32(&mut p, decided.len() as u32);
+                for ind in decided {
+                    put_str(&mut p, parsed.individual_name(ind));
+                    for set in [real.types_ref(ind), real.most_specific_ref(ind)] {
+                        let set = set.cloned().unwrap_or_default();
+                        put_u32(&mut p, set.len() as u32);
+                        for c in set {
+                            put_str(&mut p, voc.concept_name(c));
+                        }
+                    }
+                }
+                p
+            });
+            Executed {
+                status: STATUS_OK,
+                epoch: snap.epoch,
+                steps: spend.steps,
+                body,
+            }
+        }
+        Request::Admit {
+            artifact,
+            definition,
+        } => {
+            let corpus = standard_corpus();
+            let Some(a) = corpus.iter().find(|a| a.name() == artifact) else {
+                return Executed::proto(ProtoError::UnknownArtifact(artifact.clone()), 0);
+            };
+            let defs = standard_definitions();
+            let Some(d) = defs.iter().find(|d| d.name() == definition) else {
+                return Executed::proto(ProtoError::UnknownDefinition(definition.clone()), 0);
+            };
+            let mut meter = budget.meter();
+            let body = match meter.charge(1) {
+                Err(i) => {
+                    let (oc, rc) = interrupt_codes(i);
+                    ok_body(oc, rc, &meter.spend(), None)
+                }
+                Ok(()) => {
+                    // Panic isolation mirrors the critique's judge
+                    // cells: a panicking judge degrades to Unknown.
+                    let judged = catch_unwind(AssertUnwindSafe(|| d.admits(a, None)));
+                    let (verdict, reason) = match judged {
+                        Ok(j) => (verdict_code(j.verdict), j.reason),
+                        Err(payload) => {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string());
+                            (verdict_code(Verdict::Unknown), format!("judge panicked: {msg}"))
+                        }
+                    };
+                    let mut p = Vec::new();
+                    p.push(verdict);
+                    put_str(&mut p, &reason);
+                    ok_body(OUTCOME_COMPLETED, REASON_NONE, &meter.spend(), Some(p))
+                }
+            };
+            Executed {
+                status: STATUS_OK,
+                epoch: 0,
+                steps: meter.spend().steps,
+                body,
+            }
+        }
+        Request::Critique => {
+            let governed = summa_core::critique::syntactic_critique_governed(budget);
+            // The matrix's own per-cell spends carry wall-clock; the
+            // body-level spend uses only the deterministic fields
+            // (1 step per judged cell).
+            let spend = match governed.as_partial() {
+                Some(m) => m.total_spend(),
+                None => Spend::default(),
+            };
+            let body = governed_body(&governed, &spend, |m| {
+                let mut p = Vec::new();
+                put_u32(&mut p, m.definitions.len() as u32);
+                for d in &m.definitions {
+                    put_str(&mut p, d);
+                }
+                put_u32(&mut p, m.artifacts.len() as u32);
+                for (i, a) in m.artifacts.iter().enumerate() {
+                    put_str(&mut p, a);
+                    for j in &m.cells[i] {
+                        p.push(verdict_code(j.verdict));
+                        put_str(&mut p, &j.reason);
+                    }
+                }
+                p
+            });
+            Executed {
+                status: STATUS_OK,
+                epoch: 0,
+                steps: spend.steps,
+                body,
+            }
+        }
+        Request::LoadSnapshot { name, axioms } => match store.install_axioms(name, axioms) {
+            Err(e) => Executed::proto(ProtoError::ParseError(e), 0),
+            Ok(snap) => {
+                let mut p = Vec::new();
+                put_str(&mut p, &snap.name);
+                put_u64(&mut p, snap.fingerprint);
+                put_u64(&mut p, snap.tbox.atoms().len() as u64);
+                Executed {
+                    status: STATUS_OK,
+                    body: ok_body(OUTCOME_COMPLETED, REASON_NONE, &Spend::default(), Some(p)),
+                    epoch: snap.epoch,
+                    steps: 0,
+                }
+            }
+        },
+        // Stats is answered by the server from its own counters; it
+        // never reaches the op layer (and has no library baseline).
+        Request::Stats => Executed::proto(
+            ProtoError::Malformed("stats is served from server state"),
+            0,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_ok_body, Op, Payload};
+
+    fn store() -> SnapshotStore {
+        SnapshotStore::with_builtins()
+    }
+
+    #[test]
+    fn subsumes_answers_and_is_deterministic() {
+        let s = store();
+        let req = Request::Subsumes {
+            snapshot: "vehicles".into(),
+            sub: "car".into(),
+            sup: "motorvehicle".into(),
+        };
+        let a = execute(&s, &req, &Budget::unlimited());
+        let b = execute(&s, &req, &Budget::unlimited());
+        assert_eq!(a.status, STATUS_OK);
+        assert_eq!(a.body, b.body, "byte-identical across runs");
+        let ok = decode_ok_body(Op::Subsumes, &a.body).expect("decodes");
+        assert_eq!(ok.outcome, OUTCOME_COMPLETED);
+        assert_eq!(ok.payload, Some(Payload::Subsumes(true)));
+        assert!(ok.spend.steps > 0);
+
+        let req = Request::Subsumes {
+            snapshot: "vehicles".into(),
+            sub: "motorvehicle".into(),
+            sup: "car".into(),
+        };
+        let r = execute(&s, &req, &Budget::unlimited());
+        let ok = decode_ok_body(Op::Subsumes, &r.body).expect("decodes");
+        assert_eq!(ok.payload, Some(Payload::Subsumes(false)));
+    }
+
+    #[test]
+    fn unknown_snapshot_is_a_typed_protocol_error() {
+        let s = store();
+        let r = execute(
+            &s,
+            &Request::Classify {
+                snapshot: "missing".into(),
+            },
+            &Budget::unlimited(),
+        );
+        assert_eq!(r.status, STATUS_PROTOCOL_ERROR);
+        let (code, msg) = wire::decode_protocol_error(&r.body).expect("typed");
+        assert_eq!(code, ProtoError::UnknownSnapshot(String::new()).code());
+        assert!(msg.contains("missing"));
+    }
+
+    #[test]
+    fn classify_under_starved_budget_reports_exhaustion() {
+        let s = store();
+        let req = Request::Classify {
+            snapshot: "vehicles".into(),
+        };
+        let full = execute(&s, &req, &Budget::unlimited());
+        let ok = decode_ok_body(Op::Classify, &full.body).expect("decodes");
+        assert_eq!(ok.outcome, OUTCOME_COMPLETED);
+        let Some(Payload::Hierarchy(rows)) = ok.payload else {
+            panic!("hierarchy payload");
+        };
+        assert!(rows.iter().any(|(c, subs)| c == "car"
+            && subs.iter().any(|s| s == "motorvehicle")));
+
+        let starved = execute(&s, &req, &Budget::new().with_steps(3));
+        assert_eq!(starved.status, STATUS_OK);
+        let ok = decode_ok_body(Op::Classify, &starved.body).expect("decodes");
+        assert_eq!(ok.outcome, OUTCOME_EXHAUSTED);
+        assert_eq!(ok.reason, REASON_STEPS);
+    }
+
+    #[test]
+    fn realize_round_trips_beetle() {
+        let s = store();
+        let req = Request::Realize {
+            snapshot: "vehicles".into(),
+            abox: "# beetle\nbeetle : car\n".into(),
+        };
+        let r = execute(&s, &req, &Budget::unlimited());
+        assert_eq!(r.status, STATUS_OK);
+        let ok = decode_ok_body(Op::Realize, &r.body).expect("decodes");
+        let Some(Payload::Realization(rows)) = ok.payload else {
+            panic!("realization payload");
+        };
+        assert_eq!(rows.len(), 1);
+        let (name, types, most) = &rows[0];
+        assert_eq!(name, "beetle");
+        assert!(types.iter().any(|t| t == "motorvehicle"));
+        assert_eq!(most, &vec!["car".to_string()]);
+    }
+
+    #[test]
+    fn abox_parse_errors_are_typed_and_deterministic() {
+        let s = store();
+        let req = Request::Realize {
+            snapshot: "vehicles".into(),
+            abox: "beetle : some uses".into(),
+        };
+        let a = execute(&s, &req, &Budget::unlimited());
+        let b = execute(&s, &req, &Budget::unlimited());
+        assert_eq!(a.status, STATUS_PROTOCOL_ERROR);
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn admit_and_critique_agree_on_verdicts() {
+        let s = store();
+        let crit = execute(&s, &Request::Critique, &Budget::unlimited());
+        let ok = decode_ok_body(Op::Critique, &crit.body).expect("decodes");
+        let Some(Payload::Matrix { definitions, rows }) = ok.payload else {
+            panic!("matrix payload");
+        };
+        assert!(!definitions.is_empty() && !rows.is_empty());
+        // Each admit answer must match the matrix cell.
+        let (artifact, cells) = &rows[0];
+        for (d, (code, reason)) in definitions.iter().zip(cells) {
+            let one = execute(
+                &s,
+                &Request::Admit {
+                    artifact: artifact.clone(),
+                    definition: d.clone(),
+                },
+                &Budget::unlimited(),
+            );
+            let ok = decode_ok_body(Op::Admit, &one.body).expect("decodes");
+            assert_eq!(
+                ok.payload,
+                Some(Payload::Judgment {
+                    verdict: *code,
+                    reason: reason.clone()
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn load_snapshot_installs_and_reports_fingerprint() {
+        let s = store();
+        let r = execute(
+            &s,
+            &Request::LoadSnapshot {
+                name: "toy".into(),
+                axioms: "dog < animal".into(),
+            },
+            &Budget::unlimited(),
+        );
+        assert_eq!(r.status, STATUS_OK);
+        assert!(r.epoch > 3, "epoch bumped past builtins");
+        let ok = decode_ok_body(Op::LoadSnapshot, &r.body).expect("decodes");
+        let Some(Payload::SnapshotInstalled { name, atoms, .. }) = ok.payload else {
+            panic!("install payload");
+        };
+        assert_eq!((name.as_str(), atoms), ("toy", 2));
+        assert!(s.get("toy").is_some());
+    }
+}

@@ -45,6 +45,22 @@ cargo run -q -p summa-obs --example validate_json -- \
     BENCH_classify.json bench generated_at workloads
 echo "    BENCH_classify.json: valid"
 
+# Serving soak lane: N concurrent tenants against the batched reasoning
+# server — zero dropped requests, bounded queue depth, typed overload
+# rejections, and a drain-under-load whose accounting reconciles
+# exactly. The example asserts every invariant and exits nonzero on
+# the first violation.
+echo "==> serve soak lane"
+cargo run -q --release -p summa-serve --example serve_soak
+
+# Serve bench smoke: batched vs unbatched latency over real loopback
+# TCP; the validator gates the report format.
+echo "==> SUMMA_BENCH_SMOKE=1 cargo bench --bench serve"
+SUMMA_BENCH_SMOKE=1 cargo bench --bench serve
+cargo run -q -p summa-obs --example validate_json -- \
+    BENCH_serve.json bench generated_at workloads
+echo "    BENCH_serve.json: valid"
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace -- -D warnings"
     cargo clippy --workspace -- -D warnings
