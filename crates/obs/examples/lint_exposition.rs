@@ -1,0 +1,42 @@
+//! Lint a Prometheus-style text exposition file.
+//!
+//! Usage: `lint_exposition <file> [required_family ...]`
+//!
+//! Validates the file against the exposition grammar with
+//! [`summa_obs::validate_exposition`] (header shape, name/label
+//! validity, histogram bucket monotonicity and `+Inf`/`_count`
+//! agreement, summary quantile ranges) and optionally checks that
+//! every `required_family` declares a `# TYPE`. Exits non-zero with a
+//! message on any violation, so CI can gate scraped telemetry the same
+//! way `validate_json` gates the JSON reports.
+
+use std::process::ExitCode;
+use summa_obs::validate_exposition;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("lint_exposition: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        return fail("usage: lint_exposition <file> [required_family ...]");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let families = match validate_exposition(&text) {
+        Ok(n) => n,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    for family in args {
+        let needle = format!("# TYPE {family} ");
+        if !text.lines().any(|l| l.starts_with(&needle)) {
+            return fail(&format!("{path}: missing required family \"{family}\""));
+        }
+    }
+    println!("{path}: ok ({families} families)");
+    ExitCode::SUCCESS
+}

@@ -47,10 +47,12 @@
 //! [`Budget::with_tracer`](../summa_guard) overrides the gate per run.
 
 pub mod export;
+pub mod expo;
 pub mod metrics;
 
 pub use export::{HistogramSummary, SpanRecord, TraceSnapshot};
-pub use metrics::Histogram;
+pub use expo::{validate_exposition, Exposition};
+pub use metrics::{Gauge, Histogram, SeriesRing, SeriesSample};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};

@@ -16,13 +16,25 @@
 //!    everything admitted before the drain flag is answered, late
 //!    arrivals get typed `draining` rejections or a clean close, and
 //!    the books still reconcile.
+//! 4. **Telemetry** — tail sampling armed (zero latency threshold),
+//!    4 tenants hammer the mixed workload, then the `Telemetry` op is
+//!    scraped in both formats; both payloads must pass the library's
+//!    own validators, the plane's histogram counts must reconcile
+//!    exactly with `completed`, and the slow-log books must satisfy
+//!    `captured + dropped == triggered`. The scraped payloads are
+//!    written to `target/telemetry_serve.prom` and
+//!    `target/telemetry_slowlog.json` for the tier-1 artifact linters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use summa_obs::export::validate_chrome_trace;
+use summa_obs::validate_exposition;
 use summa_serve::client::Client;
 use summa_serve::server::{Server, ServerConfig};
+use summa_serve::telemetry::TelemetryConfig;
 use summa_serve::wire::{
     decode_overload, Overload, Request, STATUS_OK, STATUS_OVERLOADED,
+    TELEMETRY_FORMAT_CHROME_SLOWLOG, TELEMETRY_FORMAT_PROMETHEUS,
 };
 
 fn mixed_workload() -> Vec<Request> {
@@ -200,6 +212,85 @@ fn phase_drain_under_load() {
     );
 }
 
+fn phase_telemetry() {
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 5;
+    let server = Server::start(ServerConfig {
+        threads: 4,
+        max_batch: 8,
+        telemetry: TelemetryConfig {
+            // Zero threshold: every request tail-samples, so the soak
+            // exercises capture, eviction, and the dropped counter.
+            slow_threshold_ns: Some(0),
+            slow_log_capacity: 32,
+            ..TelemetryConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let workload = Arc::new(mixed_workload());
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let workload = Arc::clone(&workload);
+            std::thread::spawn(move || {
+                let tenant = format!("telemetry-{t}");
+                let mut client = Client::connect(addr, &tenant).expect("connects");
+                for _ in 0..ROUNDS {
+                    for req in workload.iter() {
+                        let resp = client.call(req.clone()).expect("answered");
+                        assert_eq!(resp.status, STATUS_OK);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let sent = (CLIENTS * ROUNDS * mixed_workload().len()) as u64;
+
+    // The plane's books, before the scrape perturbs anything (it
+    // can't — scrapes are admin ops and never enter the histograms).
+    let recorded = server.telemetry().recorded_requests();
+    assert_eq!(recorded, sent, "one histogram observation per request");
+    let (captured, dropped, triggered) = server.telemetry().slow_log_counts();
+    assert_eq!(triggered, sent, "zero threshold samples everything");
+    assert_eq!(captured + dropped, triggered, "slow-log books exact");
+    assert_eq!(captured, 32, "log filled to its bound, no further");
+
+    // Scrape both wire formats and hold them to the library's own
+    // validators — the same checks the CI artifact linters re-run.
+    let mut scraper = Client::connect(addr, "scraper").expect("connects");
+    let prom = scraper
+        .telemetry_text(TELEMETRY_FORMAT_PROMETHEUS)
+        .expect("prometheus scrape");
+    let families =
+        validate_exposition(&prom).unwrap_or_else(|e| panic!("exposition invalid: {e}"));
+    assert!(families >= 10, "a real scrape has many families: {families}");
+    let chrome = scraper
+        .telemetry_text(TELEMETRY_FORMAT_CHROME_SLOWLOG)
+        .expect("chrome scrape");
+    let events =
+        validate_chrome_trace(&chrome).unwrap_or_else(|e| panic!("chrome trace invalid: {e}"));
+    assert!(events as u64 > captured, "phase spans for every captured query");
+
+    // Artifacts for `scripts/tier1.sh` and the CI telemetry lane.
+    let target = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target");
+    std::fs::create_dir_all(target).expect("target dir");
+    std::fs::write(format!("{target}/telemetry_serve.prom"), &prom).expect("write prom");
+    std::fs::write(format!("{target}/telemetry_slowlog.json"), &chrome).expect("write json");
+
+    drop(scraper);
+    let stats = server.shutdown();
+    assert!(stats.reconciles(), "exact accounting: {stats:?}");
+    assert_eq!(stats.completed, recorded, "plane reconciles with the server books");
+    println!(
+        "  telemetry: {sent} observed, {captured} captured + {dropped} evicted of {triggered} sampled, \
+         {families} exposition families, {events} trace events — OK"
+    );
+}
+
 fn main() {
     println!("serve_soak: stress");
     phase_stress();
@@ -207,5 +298,7 @@ fn main() {
     phase_backpressure();
     println!("serve_soak: drain under load");
     phase_drain_under_load();
+    println!("serve_soak: telemetry");
+    phase_telemetry();
     println!("serve_soak: OK");
 }

@@ -16,6 +16,7 @@
 
 use crate::ops;
 use crate::server::Shared;
+use crate::telemetry::PhaseNs;
 use crate::wire::{self, Envelope, Response};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -32,6 +33,9 @@ pub(crate) struct Pending {
     pub env: Envelope,
     pub key: BatchKey,
     pub slot: Arc<Slot>,
+    /// Admission time — the telemetry plane's queue-wait phase starts
+    /// here.
+    pub enqueued: Instant,
 }
 
 /// A one-shot response cell the connection handler blocks on. `fill`
@@ -48,7 +52,7 @@ struct SlotState {
     /// Sticky: stays true after the waiter takes the response, so a
     /// late duplicate fill (retry sweep) still loses.
     filled: bool,
-    resp: Option<Response>,
+    resp: Option<(Response, PhaseNs)>,
 }
 
 impl Slot {
@@ -59,21 +63,23 @@ impl Slot {
         }
     }
 
-    /// Deposit the response; first fill wins — forever, even after the
+    /// Deposit the response plus the phase timings measured so far
+    /// (queue-wait / batch-formation / execute; the waiter adds the
+    /// serialize phase). First fill wins — forever, even after the
     /// waiter has already collected it.
-    pub fn fill(&self, resp: Response, _steps: u64) -> bool {
+    pub fn fill(&self, resp: Response, _steps: u64, phases: PhaseNs) -> bool {
         let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
         if state.filled {
             return false;
         }
         state.filled = true;
-        state.resp = Some(resp);
+        state.resp = Some((resp, phases));
         self.cv.notify_all();
         true
     }
 
     /// Block until the response arrives.
-    pub fn wait(&self) -> Response {
+    pub fn wait(&self) -> (Response, PhaseNs) {
         let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(resp) = state.resp.take() {
@@ -94,14 +100,21 @@ const BATCH_ATTEMPTS: u32 = 3;
 /// is empty, so every admitted request is answered before exit.
 pub(crate) fn scheduler_loop(shared: Arc<Shared>) {
     loop {
-        let batch = {
+        // popped_at closes every batched request's queue-wait phase;
+        // batch formation is timed separately around the coalescing
+        // scan (it runs under the queue lock, so on 1-core hosts it
+        // serializes against admissions — see BENCH_serve.json).
+        let (batch, popped_at, batch_form_ns, depth_after) = {
             let mut q = shared
                 .queue
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(first) = q.pop_front() {
-                    break collect_batch(first, &mut q, shared.cfg.max_batch);
+                    let popped_at = Instant::now();
+                    let batch = collect_batch(first, &mut q, shared.cfg.max_batch);
+                    let batch_form_ns = popped_at.elapsed().as_nanos() as u64;
+                    break (batch, popped_at, batch_form_ns, q.len());
                 }
                 if shared.draining.load(Ordering::SeqCst) {
                     return; // queue empty and no more admissions: done
@@ -112,7 +125,8 @@ pub(crate) fn scheduler_loop(shared: Arc<Shared>) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        run_batch(&shared, batch);
+        shared.telemetry.sample_batch(batch.len(), depth_after);
+        run_batch(&shared, batch, popped_at, batch_form_ns);
     }
 }
 
@@ -139,7 +153,15 @@ fn collect_batch(first: Pending, q: &mut VecDeque<Pending>, max_batch: usize) ->
 /// trip) is retried up to [`BATCH_ATTEMPTS`] times; past that, every
 /// request in the batch receives a typed engine error — admitted work
 /// is always answered, never dropped.
-fn run_batch(shared: &Arc<Shared>, batch: Vec<Pending>) {
+fn run_batch(shared: &Arc<Shared>, batch: Vec<Pending>, popped_at: Instant, batch_form_ns: u64) {
+    // Phase timings shared by every request in the batch; each cell
+    // adds its own execute time before filling the slot.
+    let base_phases = |p: &Pending| PhaseNs {
+        queue_wait_ns: popped_at.saturating_duration_since(p.enqueued).as_nanos() as u64,
+        batch_form_ns,
+        execute_ns: 0,
+        serialize_ns: 0,
+    };
     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
     shared
         .counters
@@ -185,6 +207,7 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Pending>) {
                 0,
                 0,
                 0,
+                base_phases(p),
             );
         }
         return;
@@ -208,7 +231,9 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Pending>) {
             let rb = shared.cfg.request_budget();
             let ex = ops::execute(&shared.store, &p.env.request, &rb);
             let elapsed_ns = t0.elapsed().as_nanos() as u64;
-            answer(shared, p, ex.status, ex.body, ex.epoch, ex.steps, elapsed_ns);
+            let mut phases = base_phases(p);
+            phases.execute_ns = elapsed_ns;
+            answer(shared, p, ex.status, ex.body, ex.epoch, ex.steps, elapsed_ns, phases);
             shared.tracer.record_ns("serve.request.ns", elapsed_ns);
             Ok(())
         },
@@ -229,6 +254,7 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Pending>) {
             0,
             0,
             0,
+            base_phases(p),
         );
     }
 }
@@ -244,6 +270,7 @@ fn answer(
     epoch: u64,
     steps: u64,
     elapsed_ns: u64,
+    phases: PhaseNs,
 ) {
     let resp = Response {
         id: p.env.id,
@@ -253,7 +280,7 @@ fn answer(
         epoch,
         body,
     };
-    if !p.slot.fill(resp, steps) {
+    if !p.slot.fill(resp, steps, phases) {
         return; // a retried attempt already answered
     }
     if status == wire::STATUS_ENGINE_ERROR {

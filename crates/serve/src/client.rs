@@ -145,4 +145,32 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<Response> {
         self.call(Request::Stats)
     }
+
+    /// Scrape the telemetry plane in the given format
+    /// ([`wire::TELEMETRY_FORMAT_PROMETHEUS`] or
+    /// [`wire::TELEMETRY_FORMAT_CHROME_SLOWLOG`]).
+    pub fn telemetry(&mut self, format: u8) -> io::Result<Response> {
+        self.call(Request::Telemetry { format })
+    }
+
+    /// Scrape and decode the telemetry text payload, failing on any
+    /// non-OK status or payload shape mismatch.
+    pub fn telemetry_text(&mut self, format: u8) -> io::Result<String> {
+        let resp = self.telemetry(format)?;
+        if resp.status != wire::STATUS_OK {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("telemetry scrape failed with status {}", resp.status),
+            ));
+        }
+        let ok = wire::decode_ok_body(crate::wire::Op::Telemetry, &resp.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        match ok.payload {
+            Some(wire::Payload::Telemetry { text, .. }) => Ok(text),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected telemetry payload: {other:?}"),
+            )),
+        }
+    }
 }

@@ -22,6 +22,15 @@
 //!   never a disconnect) and graceful drain with exact accounting
 //!   (`accepted == completed`, always).
 //!
+//! A fifth, passive layer — [`telemetry`] — decomposes every served
+//! request into phase histograms (queue-wait / batch-formation /
+//! execute / serialize) keyed by op and tenant, samples queue/batch
+//! gauges into time-series rings, and tail-samples slow or errored
+//! requests into a bounded slow-query log. It is scraped over the
+//! wire via the versioned `Telemetry` op (Prometheus-style text or a
+//! Chrome-trace dump of the slow log) and never alters response
+//! bytes; disabled it costs one relaxed atomic load per request.
+//!
 //! Chaos coverage rides through the existing `summa_guard` fault
 //! plane: the server exposes `serve.accept` and `serve.batch` fault
 //! sites on its pool budget, and each request budget can arm a
@@ -33,6 +42,7 @@ pub mod client;
 pub mod ops;
 pub mod server;
 pub mod snapshot;
+pub mod telemetry;
 pub mod wire;
 
 pub(crate) mod batch;
@@ -41,9 +51,11 @@ pub mod prelude {
     pub use crate::client::Client;
     pub use crate::server::{ServeStats, Server, ServerConfig};
     pub use crate::snapshot::{parse_tbox, Snapshot, SnapshotStore};
+    pub use crate::telemetry::{SlowTrigger, TelemetryConfig, TelemetryPlane};
     pub use crate::wire::{
         Envelope, OkBody, Op, Overload, Payload, ProtoError, Request, Response,
         OUTCOME_CANCELLED, OUTCOME_COMPLETED, OUTCOME_EXHAUSTED, STATUS_ENGINE_ERROR,
-        STATUS_OK, STATUS_OVERLOADED, STATUS_PROTOCOL_ERROR,
+        STATUS_OK, STATUS_OVERLOADED, STATUS_PROTOCOL_ERROR, TELEMETRY_FORMAT_CHROME_SLOWLOG,
+        TELEMETRY_FORMAT_PROMETHEUS,
     };
 }

@@ -383,10 +383,15 @@ pub fn execute(store: &SnapshotStore, req: &Request, budget: &Budget) -> Execute
                 }
             }
         },
-        // Stats is answered by the server from its own counters; it
-        // never reaches the op layer (and has no library baseline).
+        // Stats/Telemetry are answered by the server from its own
+        // state; they never reach the op layer (and have no library
+        // baseline).
         Request::Stats => Executed::proto(
             ProtoError::Malformed("stats is served from server state"),
+            0,
+        ),
+        Request::Telemetry { .. } => Executed::proto(
+            ProtoError::Malformed("telemetry is served from server state"),
             0,
         ),
     }

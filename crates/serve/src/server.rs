@@ -23,6 +23,7 @@
 use crate::batch::{scheduler_loop, Pending, Slot};
 use crate::ops;
 use crate::snapshot::SnapshotStore;
+use crate::telemetry::{TelemetryConfig, TelemetryPlane};
 use crate::wire::{
     self, Envelope, Overload, ProtoError, Request, Response, FrameError, STATUS_OVERLOADED,
     STATUS_PROTOCOL_ERROR,
@@ -73,6 +74,10 @@ pub struct ServerConfig {
     /// Tracer for serve spans and counters; defaults to the process
     /// tracer (`SUMMA_TRACE=1` aware).
     pub tracer: Tracer,
+    /// Telemetry plane knobs (phase histograms, gauges, tail
+    /// sampling). Enabled by default; disabling reduces the per-request
+    /// cost to one relaxed atomic load.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +92,7 @@ impl Default for ServerConfig {
             request_fault_plan: None,
             pool_budget: Budget::unlimited(),
             tracer: Tracer::global().clone(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -213,6 +219,10 @@ pub(crate) struct Shared {
     pub draining: AtomicBool,
     pub next_trace: AtomicU64,
     pub tracer: Tracer,
+    /// The long-lived telemetry plane (phase histograms, gauges,
+    /// slow-query log). Always present; recording is gated on its
+    /// enabled flag.
+    pub telemetry: TelemetryPlane,
     /// Clones of live connection streams, for shutdown.
     pub conns: Mutex<Vec<TcpStream>>,
 }
@@ -263,9 +273,11 @@ impl Server {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let tracer = cfg.tracer.clone();
+        let telemetry = TelemetryPlane::new(cfg.telemetry.clone());
         let shared = Arc::new(Shared {
             cfg,
             store,
+            telemetry,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             tenants: Mutex::new(BTreeMap::new()),
@@ -310,6 +322,12 @@ impl Server {
     /// The snapshot store (hot-swappable while serving).
     pub fn store(&self) -> &SnapshotStore {
         &self.shared.store
+    }
+
+    /// The telemetry plane (for in-process scrapes and tests; remote
+    /// consumers use the `Telemetry` wire op).
+    pub fn telemetry(&self) -> &TelemetryPlane {
+        &self.shared.telemetry
     }
 
     /// Graceful drain: stop admissions, answer everything already
@@ -550,6 +568,48 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, env: Envelope) -> bool
             };
             send(stream, &resp)
         }
+        // Telemetry scrapes answer inline for the same reason stats
+        // do: observability must keep working during overload. The
+        // body leads with its own version so scrape tooling can evolve
+        // independently of the protocol version.
+        Request::Telemetry { format } => {
+            let text = match *format {
+                wire::TELEMETRY_FORMAT_PROMETHEUS => {
+                    shared.telemetry.prometheus_text(&shared.stats())
+                }
+                wire::TELEMETRY_FORMAT_CHROME_SLOWLOG => shared.telemetry.slow_log_chrome_json(),
+                _ => {
+                    reject_protocol(
+                        shared,
+                        stream,
+                        env.id,
+                        ProtoError::Malformed("unknown telemetry format"),
+                    );
+                    return true;
+                }
+            };
+            shared.counters.admin.fetch_add(1, Ordering::Relaxed);
+            shared.tracer.add("serve.telemetry.scrape", 1);
+            let mut payload = Vec::new();
+            payload.push(wire::TELEMETRY_VERSION);
+            payload.push(*format);
+            wire::put_str(&mut payload, &text);
+            let mut body = Vec::new();
+            body.push(wire::OUTCOME_COMPLETED);
+            body.push(wire::REASON_NONE);
+            wire::put_spend(&mut body, &summa_guard::Spend::default());
+            body.push(1);
+            body.extend_from_slice(&payload);
+            let resp = Response {
+                id: env.id,
+                status: wire::STATUS_OK,
+                elapsed_ns: 0,
+                trace_id: shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1,
+                epoch: 0,
+                body,
+            };
+            send(stream, &resp)
+        }
         Request::LoadSnapshot { .. } => {
             shared.counters.admin.fetch_add(1, Ordering::Relaxed);
             let t0 = Instant::now();
@@ -579,6 +639,7 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, env: Envelope) -> bool
                 .snapshot_name()
                 .and_then(|n| shared.store.get(n))
                 .map(|s| (s.fingerprint, s.epoch));
+            let op = env.request.op();
             {
                 let mut tenants = shared
                     .tenants
@@ -633,18 +694,38 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, env: Envelope) -> bool
                     .max_queue_depth
                     .fetch_max(depth, Ordering::Relaxed);
                 shared.tracer.add("serve.enqueued", 1);
+                // Telemetry handle resolution piggybacks on this
+                // already-locked admission section; when disabled the
+                // cost is one relaxed load.
+                let telemetry_on = shared.telemetry.enabled();
+                let tenant_tel = telemetry_on.then(|| shared.telemetry.tenant(&env.tenant));
+                let tenant_name = telemetry_on.then(|| env.tenant.clone());
+                let admitted_at = Instant::now();
+                let start_ns = shared.telemetry.now_ns();
+                shared.telemetry.queue_depth_set(depth as i64);
+                shared.telemetry.in_flight_add(1);
                 let slot = Arc::new(Slot::new());
                 q.push_back(Pending {
                     env,
                     key,
                     slot: Arc::clone(&slot),
+                    enqueued: admitted_at,
                 });
                 drop(q);
                 drop(tenants);
                 shared.queue_cv.notify_all();
-                let resp = slot.wait();
+                let (resp, mut phases) = slot.wait();
+                let ser_t0 = Instant::now();
                 let ok = send(stream, &resp);
                 shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                shared.telemetry.in_flight_add(-1);
+                if let (Some(tel), Some(tenant)) = (tenant_tel, tenant_name) {
+                    phases.serialize_ns = ser_t0.elapsed().as_nanos() as u64;
+                    let total_ns = admitted_at.elapsed().as_nanos() as u64;
+                    shared
+                        .telemetry
+                        .observe_request(&tel, &tenant, op, &resp, phases, start_ns, total_ns);
+                }
                 ok
             }
         }

@@ -67,6 +67,15 @@ pub const REASON_MEMORY: u8 = 2;
 pub const REASON_FAULT: u8 = 3;
 pub const REASON_TASK_FAILURE: u8 = 4;
 
+/// Version of the `Telemetry` op's body layout. Bumped independently
+/// of [`PROTOCOL_VERSION`] so scrape tooling can evolve without
+/// forcing a protocol-wide break; the response body leads with it.
+pub const TELEMETRY_VERSION: u8 = 1;
+
+/// `Telemetry` payload formats.
+pub const TELEMETRY_FORMAT_PROMETHEUS: u8 = 0;
+pub const TELEMETRY_FORMAT_CHROME_SLOWLOG: u8 = 1;
+
 /// Request opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -79,6 +88,7 @@ pub enum Op {
     Critique = 5,
     LoadSnapshot = 6,
     Stats = 7,
+    Telemetry = 8,
 }
 
 impl Op {
@@ -92,6 +102,7 @@ impl Op {
             5 => Op::Critique,
             6 => Op::LoadSnapshot,
             7 => Op::Stats,
+            8 => Op::Telemetry,
             _ => return None,
         })
     }
@@ -106,6 +117,7 @@ impl Op {
             Op::Critique => "critique",
             Op::LoadSnapshot => "load_snapshot",
             Op::Stats => "stats",
+            Op::Telemetry => "telemetry",
         }
     }
 }
@@ -139,6 +151,12 @@ pub enum Request {
     LoadSnapshot { name: String, axioms: String },
     /// Server counters (admin; not part of the conformance surface).
     Stats,
+    /// Scrape the telemetry plane (admin). `format` selects the
+    /// payload: [`TELEMETRY_FORMAT_PROMETHEUS`] for the text
+    /// exposition, [`TELEMETRY_FORMAT_CHROME_SLOWLOG`] for a
+    /// Chrome-trace JSON dump of the slow-query log. Unknown formats
+    /// answer with a typed protocol error.
+    Telemetry { format: u8 },
 }
 
 impl Request {
@@ -152,6 +170,7 @@ impl Request {
             Request::Critique => Op::Critique,
             Request::LoadSnapshot { .. } => Op::LoadSnapshot,
             Request::Stats => Op::Stats,
+            Request::Telemetry { .. } => Op::Telemetry,
         }
     }
 
@@ -424,6 +443,7 @@ pub fn encode_request(env: &Envelope) -> Vec<u8> {
             put_str(&mut buf, name);
             put_str(&mut buf, axioms);
         }
+        Request::Telemetry { format } => buf.push(*format),
     }
     buf
 }
@@ -465,6 +485,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Envelope, (ProtoError, u64)> {
                 name: r.str()?,
                 axioms: r.str()?,
             },
+            Op::Telemetry => Request::Telemetry { format: r.u8()? },
         })
     })()
     .map_err(|e| (e, id))?;
@@ -575,6 +596,14 @@ pub enum Payload {
     },
     /// Server counters.
     Stats(Vec<(String, u64)>),
+    /// A telemetry scrape: body-layout version, the format that was
+    /// requested, and the rendered text (Prometheus exposition or
+    /// Chrome-trace JSON depending on `format`).
+    Telemetry {
+        version: u8,
+        format: u8,
+        text: String,
+    },
 }
 
 /// Decoded OK body: governed outcome + deterministic spend + payload.
@@ -667,6 +696,11 @@ pub fn decode_ok_body(op: Op, body: &[u8]) -> Result<OkBody, ProtoError> {
                 }
                 Payload::Stats(entries)
             }
+            Op::Telemetry => Payload::Telemetry {
+                version: r.u8()?,
+                format: r.u8()?,
+                text: r.str()?,
+            },
         })
     };
     r.expect_end()?;
@@ -801,6 +835,12 @@ mod tests {
                 axioms: "a < b".into(),
             },
             Request::Stats,
+            Request::Telemetry {
+                format: TELEMETRY_FORMAT_PROMETHEUS,
+            },
+            Request::Telemetry {
+                format: TELEMETRY_FORMAT_CHROME_SLOWLOG,
+            },
         ] {
             let env = Envelope {
                 id: 42,

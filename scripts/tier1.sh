@@ -48,10 +48,25 @@ echo "    BENCH_classify.json: valid"
 # Serving soak lane: N concurrent tenants against the batched reasoning
 # server — zero dropped requests, bounded queue depth, typed overload
 # rejections, and a drain-under-load whose accounting reconciles
-# exactly. The example asserts every invariant and exits nonzero on
-# the first violation.
-echo "==> serve soak lane"
+# exactly. The telemetry phase arms tail sampling, scrapes the
+# Telemetry op in both formats, and writes the payloads to target/.
+# The example asserts every invariant and exits nonzero on the first
+# violation.
+echo "==> serve soak lane (telemetry armed)"
 cargo run -q --release -p summa-serve --example serve_soak
+
+# Telemetry lane: re-lint the scraped artifacts with the standalone
+# validators — the Prometheus exposition must parse and carry the
+# serve families, and the slow-query dump must be valid Chrome-trace
+# JSON. This is the same gate CI applies before uploading them.
+echo "==> telemetry lane: lint scraped artifacts"
+cargo run -q -p summa-obs --example lint_exposition -- \
+    target/telemetry_serve.prom \
+    summa_serve_phase_queue_wait_ns summa_serve_phase_execute_ns \
+    summa_serve_tenant_requests_total summa_serve_slow_log_triggered_total
+cargo run -q -p summa-obs --example validate_json -- \
+    target/telemetry_slowlog.json traceEvents
+echo "    telemetry_serve.prom + telemetry_slowlog.json: valid"
 
 # Serve bench smoke: batched vs unbatched latency over real loopback
 # TCP; the validator gates the report format.

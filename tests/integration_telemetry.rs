@@ -1,0 +1,272 @@
+//! Differential conformance for the serve telemetry plane: with
+//! telemetry **enabled** and tail sampling firing (via the same fixed
+//! fault plan the serve conformance suite replays), every response
+//! body must still be byte-identical to a direct [`summa_serve::ops`]
+//! call, at 1 and at 4 worker threads. Telemetry observes; it never
+//! participates.
+//!
+//! Plus the plane's own books: the per-tenant/per-op histogram counts
+//! reconcile exactly with `ServeStats.completed`, the slow-query log
+//! satisfies `captured + dropped == triggered`, both wire renderings
+//! (Prometheus text, Chrome trace JSON) validate with the library's
+//! own linters, disabled telemetry records nothing, and an unknown
+//! telemetry format is a typed protocol error on a surviving
+//! connection.
+
+use summa_obs::export::validate_chrome_trace;
+use summa_obs::validate_exposition;
+use summa_serve::client::Client;
+use summa_serve::ops::{self, Executed};
+use summa_serve::server::{Server, ServerConfig};
+use summa_serve::snapshot::SnapshotStore;
+use summa_serve::telemetry::TelemetryConfig;
+use summa_serve::wire::{
+    Request, STATUS_OK, STATUS_PROTOCOL_ERROR, TELEMETRY_FORMAT_CHROME_SLOWLOG,
+    TELEMETRY_FORMAT_PROMETHEUS,
+};
+
+/// Same fixed chaos plan as `integration_serve.rs`: deterministic per
+/// request, so the served run and the direct baseline fault the same
+/// way and the faulted answers double as tail-sampling triggers.
+const FAULT_PLAN: &str = "dl.cache.insert@3=trip;dl.realize.individual@1=trip";
+const FAULT_SEED: u64 = 1405;
+
+/// A workload with happy paths, a fault-exhausted realize, and typed
+/// error paths — the latter two must trip the tail sampler.
+fn workload() -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::Subsumes {
+            snapshot: "vehicles".into(),
+            sub: "car".into(),
+            sup: "motorvehicle".into(),
+        },
+        Request::Classify {
+            snapshot: "vehicles".into(),
+        },
+        Request::Realize {
+            snapshot: "vehicles".into(),
+            abox: "beetle : car\nherbie : motorvehicle\n".into(),
+        },
+        Request::Admit {
+            artifact: "vehicles TBox (4)".into(),
+            definition: "Gruber (functional)".into(),
+        },
+        Request::Critique,
+        // Typed error path: fires the ErrorStatus trigger.
+        Request::Classify {
+            snapshot: "no-such-ontology".into(),
+        },
+    ]
+}
+
+fn config(threads: usize, telemetry: TelemetryConfig) -> ServerConfig {
+    ServerConfig {
+        threads,
+        max_batch: 4,
+        request_fault_plan: Some((FAULT_PLAN.to_string(), FAULT_SEED)),
+        telemetry,
+        ..ServerConfig::default()
+    }
+}
+
+fn baseline(cfg: &ServerConfig, reqs: &[Request]) -> Vec<Executed> {
+    let store = SnapshotStore::with_builtins();
+    reqs.iter()
+        .map(|r| ops::execute(&store, r, &cfg.request_budget()))
+        .collect()
+}
+
+/// The tentpole acceptance run: telemetry armed (tail sampling on
+/// every request via a zero threshold, plus error triggers from the
+/// fault plan), responses byte-identical, books exact, both wire
+/// renderings valid.
+fn assert_telemetry_conformance(threads: usize) {
+    let tel = TelemetryConfig {
+        slow_threshold_ns: Some(0),
+        slow_log_capacity: 4,
+        ..TelemetryConfig::default()
+    };
+    let cfg = config(threads, tel.clone());
+    let reqs = workload();
+    let want = baseline(&cfg, &reqs);
+
+    let server = Server::start(config(threads, tel)).expect("server starts");
+    let mut client = Client::connect(server.addr(), "conformance").expect("connects");
+    for (req, want) in reqs.iter().zip(&want) {
+        let resp = client.call(req.clone()).expect("answered");
+        assert_eq!(resp.status, want.status, "status for {:?}", req.op());
+        assert_eq!(
+            resp.body,
+            want.body,
+            "telemetry must not alter body bytes for {:?} (threads={threads})",
+            req.op()
+        );
+        assert_eq!(resp.epoch, want.epoch);
+    }
+
+    // Every admitted request is answered before `call` returns, so the
+    // plane's counts are final here. The scrape itself is an admin op
+    // and never enters the histograms.
+    let plane = server.telemetry();
+    let recorded = plane.recorded_requests();
+    assert_eq!(recorded, reqs.len() as u64, "one observation per request");
+    let (captured, dropped, triggered) = plane.slow_log_counts();
+    assert_eq!(captured + dropped, triggered, "slow-log books");
+    assert_eq!(
+        triggered,
+        reqs.len() as u64,
+        "zero threshold: every request tail-samples"
+    );
+    assert_eq!(captured, 4, "bounded log holds exactly its capacity");
+    assert_eq!(dropped, triggered - 4, "evictions are counted, not lost");
+
+    let prom = client
+        .telemetry_text(TELEMETRY_FORMAT_PROMETHEUS)
+        .expect("prometheus scrape");
+    validate_exposition(&prom).expect("exposition lints clean");
+    assert!(prom.contains("# TYPE summa_serve_phase_queue_wait_ns histogram"));
+    assert!(prom.contains("summa_serve_tenant_requests_total{tenant=\"conformance\""));
+    assert!(prom.contains("summa_serve_slow_log_triggered_total"));
+
+    let chrome = client
+        .telemetry_text(TELEMETRY_FORMAT_CHROME_SLOWLOG)
+        .expect("chrome scrape");
+    let events = validate_chrome_trace(&chrome).expect("chrome trace validates");
+    assert!(events > 4, "metadata + phase spans for each captured query");
+
+    drop(client);
+    let stats = server.shutdown();
+    assert!(stats.reconciles(), "{stats:?}");
+    assert_eq!(
+        recorded, stats.completed,
+        "histogram counts reconcile with completed"
+    );
+}
+
+#[test]
+fn telemetry_conformance_single_thread() {
+    assert_telemetry_conformance(1);
+}
+
+#[test]
+fn telemetry_conformance_four_threads() {
+    assert_telemetry_conformance(4);
+}
+
+/// Error-triggered tail sampling without a latency threshold: only the
+/// requests that come back non-OK or non-completed enter the log.
+#[test]
+fn error_triggers_tail_sample_without_threshold() {
+    let server =
+        Server::start(config(2, TelemetryConfig::default())).expect("server starts");
+    let mut client = Client::connect(server.addr(), "t").expect("connects");
+    assert_eq!(client.ping().expect("ok").status, STATUS_OK);
+    let resp = client.classify("no-such-ontology").expect("typed error");
+    assert_eq!(resp.status, STATUS_PROTOCOL_ERROR);
+    // The fault plan exhausts this realize: completed-but-interrupted.
+    let faulted = client
+        .realize("vehicles", "beetle : car\n")
+        .expect("answered");
+    assert_eq!(faulted.status, STATUS_OK);
+
+    let (captured, dropped, triggered) = server.telemetry().slow_log_counts();
+    assert_eq!(triggered, 2, "error + interrupted outcomes trigger; ping does not");
+    assert_eq!(captured, 2);
+    assert_eq!(dropped, 0);
+    assert_eq!(server.telemetry().recorded_requests(), 3);
+    drop(client);
+    assert!(server.shutdown().reconciles());
+}
+
+/// Disabled telemetry: responses unchanged, nothing recorded, and the
+/// scrape still answers (reporting the plane as disabled) so an
+/// operator's dashboard never 404s.
+#[test]
+fn disabled_telemetry_records_nothing_and_stays_conformant() {
+    let tel = TelemetryConfig {
+        enabled: false,
+        ..TelemetryConfig::default()
+    };
+    let cfg = config(2, tel.clone());
+    let reqs = workload();
+    let want = baseline(&cfg, &reqs);
+    let server = Server::start(config(2, tel)).expect("server starts");
+    let mut client = Client::connect(server.addr(), "dark").expect("connects");
+    for (req, want) in reqs.iter().zip(&want) {
+        let resp = client.call(req.clone()).expect("answered");
+        assert_eq!(resp.body, want.body, "disabled plane, identical bytes");
+    }
+    assert_eq!(server.telemetry().recorded_requests(), 0);
+    assert_eq!(server.telemetry().slow_log_counts(), (0, 0, 0));
+
+    let prom = client
+        .telemetry_text(TELEMETRY_FORMAT_PROMETHEUS)
+        .expect("scrape answers even when disabled");
+    validate_exposition(&prom).expect("still lints clean");
+    assert!(prom.contains("summa_serve_telemetry_enabled 0"));
+    let chrome = client
+        .telemetry_text(TELEMETRY_FORMAT_CHROME_SLOWLOG)
+        .expect("chrome scrape answers");
+    validate_chrome_trace(&chrome).expect("empty slow log still validates");
+    drop(client);
+    assert!(server.shutdown().reconciles());
+}
+
+/// An unknown telemetry format byte is a typed protocol error on a
+/// connection that keeps working.
+#[test]
+fn unknown_telemetry_format_is_typed_and_survivable() {
+    let server = Server::start(ServerConfig::default()).expect("server starts");
+    let mut client = Client::connect(server.addr(), "t").expect("connects");
+    let resp = client.telemetry(200).expect("typed rejection, not a disconnect");
+    assert_eq!(resp.status, STATUS_PROTOCOL_ERROR);
+    assert_eq!(client.ping().expect("answered").status, STATUS_OK);
+    drop(client);
+    let stats = server.shutdown();
+    assert!(stats.reconciles(), "{stats:?}");
+}
+
+/// Multi-tenant attribution: each tenant's requests land under its own
+/// label, and the per-tenant sums reconcile with the server's books.
+#[test]
+fn per_tenant_attribution_reconciles() {
+    let server =
+        Server::start(config(4, TelemetryConfig::default())).expect("server starts");
+    let addr = server.addr();
+    let handles: Vec<_> = ["alpha", "beta"]
+        .into_iter()
+        .map(|tenant| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, tenant).expect("connects");
+                for _ in 0..5 {
+                    let resp = client
+                        .subsumes("vehicles", "car", "motorvehicle")
+                        .expect("answered");
+                    assert_eq!(resp.status, STATUS_OK);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("tenant thread");
+    }
+    assert_eq!(server.telemetry().recorded_requests(), 10);
+    let mut client = Client::connect(addr, "scraper").expect("connects");
+    let prom = client
+        .telemetry_text(TELEMETRY_FORMAT_PROMETHEUS)
+        .expect("scrape");
+    validate_exposition(&prom).expect("lints clean");
+    for tenant in ["alpha", "beta"] {
+        assert!(
+            prom.contains(&format!(
+                "summa_serve_tenant_requests_total{{tenant=\"{tenant}\",op=\"subsumes\"}} 5"
+            )),
+            "per-tenant per-op count for {tenant}:\n{prom}"
+        );
+    }
+    drop(client);
+    let stats = server.shutdown();
+    assert!(stats.reconciles());
+    assert_eq!(stats.completed, 10);
+}
