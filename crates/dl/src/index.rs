@@ -1,0 +1,282 @@
+//! A precomputed classification index: the reflexive–transitive
+//! subsumption closure over named concepts, packed into u64-word
+//! bitsets for O(1) `subsumes` answers with zero tableau calls.
+//!
+//! A [`HierarchyIndex`] is built once from a **completed**
+//! [`ClassHierarchy`] (snapshot-install time in the serving layer) and
+//! then answers the told fragment of the reasoning services by lookup:
+//!
+//! * `sup ⊒ sub` between two *indexed* atoms — one bit test;
+//! * a concept's full subsumer (ancestor) or subsumee (descendant)
+//!   set — one row scan;
+//!
+//! Queries mentioning complex concepts, or atoms interned after the
+//! index was built, are not answerable here ([`HierarchyIndex::subsumes`]
+//! returns `None`) and fall through to the prover. Because every bit
+//! in the index was itself decided by the governed classifier — which
+//! is differential-tested byte-identical against brute-force tableau
+//! calls — an index answer is *exactly* the prover's answer, never an
+//! approximation.
+//!
+//! Like the resilience layer's `SatCache` entries, the packed blocks
+//! carry a checksum ([`HierarchyIndex::is_intact`]); a consumer that
+//! detects corruption drops the index and falls back to proving.
+
+use crate::classify::ClassHierarchy;
+use crate::concept::ConceptId;
+use crate::fxhash::fx_hash;
+
+/// Magic seed folded into the index checksum so it cannot collide with
+/// the sat-cache entry checksums over the same data.
+const INDEX_CHECKSUM_SEED: u64 = 0x1D0_5EED_u64;
+
+/// A reflexive–transitive-closure subsumption index over interned atom
+/// handles. Immutable after [`HierarchyIndex::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyIndex {
+    /// Indexed atoms, sorted ascending; row/bit positions are ranks in
+    /// this vector.
+    atoms: Vec<ConceptId>,
+    /// Words per row: `ceil(atoms.len() / 64)`.
+    words: usize,
+    /// Row `i`, bit `j`: `atoms[j]` subsumes `atoms[i]` (ancestors,
+    /// reflexive).
+    ancestors: Vec<u64>,
+    /// The transpose — row `i`, bit `j`: `atoms[j]` is subsumed by
+    /// `atoms[i]` (descendants, reflexive).
+    descendants: Vec<u64>,
+    checksum: u64,
+}
+
+impl HierarchyIndex {
+    /// Build from a classification result. Returns `None` when the
+    /// hierarchy is not closed over its own subsumers (a partial
+    /// hierarchy from an interrupted run mentions subsumers that have
+    /// no row of their own) — an index over an unclosed hierarchy
+    /// could answer `Some(false)` for a pair the prover would affirm,
+    /// so it must never be built.
+    pub fn build(h: &ClassHierarchy) -> Option<HierarchyIndex> {
+        let atoms: Vec<ConceptId> = h.concepts().collect(); // BTreeMap keys: sorted
+        let n = atoms.len();
+        let words = n.div_ceil(64);
+        let rank = |c: ConceptId| atoms.binary_search(&c).ok();
+        let mut ancestors = vec![0u64; n * words];
+        let mut descendants = vec![0u64; n * words];
+        for (i, &c) in atoms.iter().enumerate() {
+            for &s in h.subsumers_ref(c)? {
+                let j = rank(s)?;
+                ancestors[i * words + j / 64] |= 1u64 << (j % 64);
+                descendants[j * words + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        let checksum = Self::compute_checksum(&atoms, words, &ancestors, &descendants);
+        Some(HierarchyIndex {
+            atoms,
+            words,
+            ancestors,
+            descendants,
+            checksum,
+        })
+    }
+
+    fn compute_checksum(
+        atoms: &[ConceptId],
+        words: usize,
+        ancestors: &[u64],
+        descendants: &[u64],
+    ) -> u64 {
+        fx_hash(&(INDEX_CHECKSUM_SEED, atoms, words, ancestors, descendants))
+    }
+
+    /// Recompute the checksum over the packed blocks and compare. A
+    /// mismatch means silent corruption; the consumer must fall back
+    /// to the prover.
+    pub fn is_intact(&self) -> bool {
+        Self::compute_checksum(&self.atoms, self.words, &self.ancestors, &self.descendants)
+            == self.checksum
+    }
+
+    /// Number of indexed atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The indexed atoms, ascending.
+    pub fn atoms(&self) -> &[ConceptId] {
+        &self.atoms
+    }
+
+    /// Is this atom covered by the index? Atoms interned after the
+    /// snapshot was classified (query-local names) are not.
+    pub fn contains(&self, c: ConceptId) -> bool {
+        self.atoms.binary_search(&c).is_ok()
+    }
+
+    /// Does `sup` subsume `sub`? `None` when either atom is outside
+    /// the index (the caller falls through to the prover); `Some` is
+    /// the prover's own answer, by construction.
+    pub fn subsumes(&self, sup: ConceptId, sub: ConceptId) -> Option<bool> {
+        let i = self.atoms.binary_search(&sub).ok()?;
+        let j = self.atoms.binary_search(&sup).ok()?;
+        Some(self.ancestors[i * self.words + j / 64] & (1u64 << (j % 64)) != 0)
+    }
+
+    /// All subsumers of `c` (reflexive), ascending; `None` when `c` is
+    /// not indexed.
+    pub fn subsumers_of(&self, c: ConceptId) -> Option<Vec<ConceptId>> {
+        let i = self.atoms.binary_search(&c).ok()?;
+        Some(self.unpack_row(&self.ancestors[i * self.words..(i + 1) * self.words]))
+    }
+
+    /// All subsumees of `c` (reflexive), ascending; `None` when `c` is
+    /// not indexed.
+    pub fn subsumees_of(&self, c: ConceptId) -> Option<Vec<ConceptId>> {
+        let i = self.atoms.binary_search(&c).ok()?;
+        Some(self.unpack_row(&self.descendants[i * self.words..(i + 1) * self.words]))
+    }
+
+    fn unpack_row(&self, row: &[u64]) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        for (w, &word) in row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(self.atoms[w * 64 + b]);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{vehicles_tbox, PaperVocab};
+    use crate::tableau::Tableau;
+    use summa_guard::Budget;
+
+    fn classified(
+        tbox: &crate::tbox::TBox,
+        voc: &crate::concept::Vocabulary,
+    ) -> ClassHierarchy {
+        let mut c = Tableau::new(tbox, voc);
+        crate::classify::Classifier::classify(&mut c, tbox, voc).expect("classifies")
+    }
+
+    #[test]
+    fn index_matches_hierarchy_on_vehicles() {
+        let p = PaperVocab::new();
+        let t = vehicles_tbox(&p);
+        let h = classified(&t, &p.voc);
+        let idx = HierarchyIndex::build(&h).expect("closed hierarchy");
+        assert!(idx.is_intact());
+        // Rows are the hierarchy's rows (the TBox atoms) — the shared
+        // PaperVocab holds animal names too, which stay unindexed.
+        assert_eq!(idx.len(), h.concepts().count());
+        let rows: Vec<ConceptId> = h.concepts().collect();
+        for &sub in &rows {
+            for &sup in &rows {
+                assert_eq!(
+                    idx.subsumes(sup, sub),
+                    Some(h.subsumes(sup, sub)),
+                    "pair ({}, {})",
+                    p.voc.concept_name(sup),
+                    p.voc.concept_name(sub),
+                );
+            }
+            let row = idx.subsumers_of(sub).expect("indexed");
+            let want: Vec<ConceptId> = h.subsumers_of(sub).into_iter().collect();
+            assert_eq!(row, want);
+        }
+        // Descendants are the exact transpose.
+        for &sup in &rows {
+            let down = idx.subsumees_of(sup).expect("indexed");
+            let want: Vec<ConceptId> =
+                rows.iter().copied().filter(|&sub| h.subsumes(sup, sub)).collect();
+            assert_eq!(down, want);
+        }
+        // A vocabulary atom outside the TBox is not indexed.
+        assert!(!idx.contains(p.dog));
+    }
+
+    #[test]
+    fn unknown_atoms_fall_through() {
+        let p = PaperVocab::new();
+        let t = vehicles_tbox(&p);
+        let h = classified(&t, &p.voc);
+        let idx = HierarchyIndex::build(&h).expect("closed hierarchy");
+        let ghost = ConceptId(9_999);
+        assert!(!idx.contains(ghost));
+        assert_eq!(idx.subsumes(ghost, p.car), None);
+        assert_eq!(idx.subsumes(p.car, ghost), None);
+        assert_eq!(idx.subsumers_of(ghost), None);
+    }
+
+    #[test]
+    fn partial_hierarchies_refuse_to_index() {
+        // A starved classification yields a partial hierarchy; if it
+        // is unclosed (subsumers without rows) the build must refuse.
+        let p = PaperVocab::new();
+        let t = vehicles_tbox(&p);
+        let mut c = Tableau::new(&t, &p.voc);
+        let g = crate::classify::Classifier::classify_governed(
+            &mut c,
+            &t,
+            &p.voc,
+            &Budget::new().with_steps(1),
+        );
+        if let Some(partial) = g.as_partial() {
+            // Either it indexes (closed prefix) or refuses — it must
+            // never build an unclosed index. Probe closure directly.
+            let closed = partial.concepts().all(|cid| {
+                partial
+                    .subsumers_ref(cid)
+                    .is_some_and(|s| s.iter().all(|&x| partial.subsumers_ref(x).is_some()))
+            });
+            assert_eq!(HierarchyIndex::build(partial).is_some(), closed);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let p = PaperVocab::new();
+        let t = vehicles_tbox(&p);
+        let h = classified(&t, &p.voc);
+        let mut idx = HierarchyIndex::build(&h).expect("closed hierarchy");
+        assert!(idx.is_intact());
+        if let Some(w) = idx.ancestors.first_mut() {
+            *w ^= 1;
+        }
+        assert!(!idx.is_intact());
+    }
+
+    #[test]
+    fn sixty_five_atoms_cross_the_word_boundary() {
+        // >64 atoms forces words == 2; the bit addressing must still
+        // agree with the hierarchy on every pair.
+        let mut voc = crate::concept::Vocabulary::new();
+        let mut tbox = crate::tbox::TBox::new();
+        let ids: Vec<ConceptId> = (0..65).map(|i| voc.concept(&format!("c{i}"))).collect();
+        for w in ids.windows(2) {
+            tbox.subsume(
+                crate::concept::Concept::atom(w[0]),
+                crate::concept::Concept::atom(w[1]),
+            );
+        }
+        let h = classified(&tbox, &voc);
+        let idx = HierarchyIndex::build(&h).expect("closed hierarchy");
+        assert_eq!(idx.len(), 65);
+        for (i, &sub) in ids.iter().enumerate() {
+            for (j, &sup) in ids.iter().enumerate() {
+                // Chain: c0 < c1 < … < c64, so sup subsumes sub iff
+                // j >= i.
+                assert_eq!(idx.subsumes(sup, sub), Some(j >= i), "({j}, {i})");
+            }
+        }
+    }
+}

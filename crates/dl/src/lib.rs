@@ -55,6 +55,7 @@ pub mod el;
 pub mod error;
 pub mod fxhash;
 pub mod generate;
+pub mod index;
 pub mod parser;
 pub mod realize;
 pub mod tableau;
@@ -77,10 +78,12 @@ pub mod prelude {
     pub use crate::corpus::{animals_tbox, animals_tbox_repaired, vehicles_tbox, PaperVocab};
     pub use crate::el::ElClassifier;
     pub use crate::error::DlError;
+    pub use crate::index::HierarchyIndex;
     pub use crate::parser::{parse_axiom, parse_concept};
     pub use crate::realize::{
         realize, realize_checkpointed, realize_governed, realize_parallel_governed,
-        realize_parallel_governed_with, realize_resume_from, Realization, RealizeRun,
+        realize_parallel_governed_indexed, realize_parallel_governed_with, realize_resume_from,
+        Realization, RealizeRun,
     };
     pub use crate::tableau::Tableau;
     pub use crate::tbox::{Axiom, TBox};

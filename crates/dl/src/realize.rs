@@ -302,6 +302,26 @@ pub fn realize_parallel_governed_with(
     threads: usize,
     cache: std::sync::Arc<crate::cache::SatCache>,
 ) -> (Governed<Realization>, summa_guard::Spend) {
+    realize_parallel_governed_indexed(tbox, abox, voc, budget, threads, cache, None)
+}
+
+/// [`realize_parallel_governed_with`] with an optional precomputed
+/// [`HierarchyIndex`]: the most-specific filtering's atom-vs-atom
+/// subsumption pairs are answered from the index (one step charged per
+/// index-answered pair, zero tableau calls) when both atoms are
+/// indexed, and proved otherwise. Because an index answer *is* the
+/// prover's answer for indexed pairs, the returned realization is
+/// identical with or without the index — only the spend differs.
+#[allow(clippy::too_many_arguments)]
+pub fn realize_parallel_governed_indexed(
+    tbox: &TBox,
+    abox: &ABox,
+    voc: &Vocabulary,
+    budget: &Budget,
+    threads: usize,
+    cache: std::sync::Arc<crate::cache::SatCache>,
+    index: Option<&crate::index::HierarchyIndex>,
+) -> (Governed<Realization>, summa_guard::Spend) {
     use std::sync::Arc;
 
     let individuals: Vec<Individual> = abox.individuals().collect();
@@ -328,7 +348,7 @@ pub fn realize_parallel_governed_with(
                     set.insert(c);
                 }
             }
-            let specific = most_specific_of_set(reasoner, meter, &set)?;
+            let specific = most_specific_of_set(reasoner, meter, &set, index)?;
             Ok((set, specific))
         },
         |_, mut reasoner: Tableau| {
@@ -358,10 +378,14 @@ pub fn realize_parallel_governed_with(
 
 /// Filter an individual's entailed types down to the most specific
 /// ones (drop any type that strictly subsumes another held type).
+/// When an index is supplied and covers both atoms of a pair, the two
+/// subsumption directions come from it in O(1) (one step charged, a
+/// `dl.index.hit` count); otherwise two tableau sat calls decide them.
 fn most_specific_of_set(
     reasoner: &mut Tableau,
     meter: &mut Meter,
     set: &BTreeSet<ConceptId>,
+    index: Option<&crate::index::HierarchyIndex>,
 ) -> std::result::Result<BTreeSet<ConceptId>, Interrupt> {
     let mut specific = BTreeSet::new();
     for &c in set {
@@ -370,14 +394,27 @@ fn most_specific_of_set(
             if d == c {
                 continue;
             }
-            let c_subsumes_d = !reasoner.sat_metered(
-                &Concept::and(vec![Concept::atom(d), Concept::not(Concept::atom(c))]),
-                meter,
-            )?;
-            let d_subsumes_c = !reasoner.sat_metered(
-                &Concept::and(vec![Concept::atom(c), Concept::not(Concept::atom(d))]),
-                meter,
-            )?;
+            let indexed = index.and_then(|idx| {
+                Some((idx.subsumes(c, d)?, idx.subsumes(d, c)?))
+            });
+            let (c_subsumes_d, d_subsumes_c) = match indexed {
+                Some(pair) => {
+                    meter.charge(1)?;
+                    meter.count("dl.index.hit", 1);
+                    pair
+                }
+                None => {
+                    let cd = !reasoner.sat_metered(
+                        &Concept::and(vec![Concept::atom(d), Concept::not(Concept::atom(c))]),
+                        meter,
+                    )?;
+                    let dc = !reasoner.sat_metered(
+                        &Concept::and(vec![Concept::atom(c), Concept::not(Concept::atom(d))]),
+                        meter,
+                    )?;
+                    (cd, dc)
+                }
+            };
             if c_subsumes_d && !d_subsumes_c {
                 dominated = true;
                 break;
@@ -422,7 +459,7 @@ fn realize_metered(
         // Most specific among the entailed types, decided before the
         // row is published so partial results never hold an
         // unfiltered set.
-        let specific = most_specific_of_set(reasoner, meter, &set)?;
+        let specific = most_specific_of_set(reasoner, meter, &set, None)?;
         types.insert(ind, set);
         most_specific.insert(ind, specific);
     }

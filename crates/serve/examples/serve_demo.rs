@@ -17,9 +17,9 @@ fn main() {
     println!("summa-serve listening on {addr}");
     println!("snapshots: {:?}", server.store().names());
     println!();
-    println!("ping it (17-byte frame: version 1, op 0, id 1, tenant \"cli\"):");
+    println!("ping it (17-byte frame: version 2, op 0, id 1, tenant \"cli\"):");
     println!(
-        "  printf '\\x11\\x00\\x00\\x00\\x01\\x00\\x01\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x03\\x00\\x00\\x00cli' \\"
+        "  printf '\\x11\\x00\\x00\\x00\\x02\\x00\\x01\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x03\\x00\\x00\\x00cli' \\"
     );
     println!("    | nc {} {} | xxd", addr.ip(), addr.port());
     println!();

@@ -118,9 +118,13 @@ fn phase_stress() {
 
 fn phase_backpressure() {
     const CLIENTS: usize = 4;
+    // Pinned cold: this phase tests admission control, and a warm
+    // index answer charges only one step — 48 of them would never
+    // deplete the 60-step quota the phase is built around.
     let server = Server::start(ServerConfig {
         threads: 2,
         tenant_step_quota: Some(60),
+        cold: true,
         ..ServerConfig::default()
     })
     .expect("server starts");

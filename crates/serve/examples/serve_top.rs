@@ -153,6 +153,16 @@ fn render(frame: usize, frames: usize, s: &Samples) {
         );
     }
     println!();
+    let ih = get(s, "summa_serve_index_hit_total");
+    let im = get(s, "summa_serve_index_miss_total");
+    let warm_total = ih + im;
+    println!(
+        "  warm path: {} index hits, {} index misses ({:.0}% hit), {} shared-cache hits",
+        ih as u64,
+        im as u64,
+        if warm_total > 0.0 { ih / warm_total * 100.0 } else { 0.0 },
+        get(s, "summa_serve_cache_shared_hit_total") as u64,
+    );
     println!(
         "  slow log: {} captured, {} evicted, {} triggered",
         get(s, "summa_serve_slow_log_captured") as u64,

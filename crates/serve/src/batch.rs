@@ -9,20 +9,22 @@
 //! within the batch), and executed as one `par_map` over the pool.
 //!
 //! Batching is a **throughput** device, never a semantics device: each
-//! request still executes under its own private budget, tableau, and
-//! cache inside [`crate::ops::execute`], so a batched answer is
-//! byte-identical to an unbatched one. The pool's envelope only ever
-//! charges one step per request.
+//! request still executes under its own private budget and tableau
+//! inside [`crate::ops::execute`] (or [`crate::ops::execute_warm`],
+//! whose bodies are byte-identical by construction), so a batched
+//! answer is byte-identical to an unbatched one. The pool's envelope
+//! only ever charges one step per request.
 
 use crate::ops;
 use crate::server::Shared;
 use crate::telemetry::PhaseNs;
-use crate::wire::{self, Envelope, Response};
+use crate::wire::{self, Envelope, Response, SERVED_CACHE, SERVED_INDEX, SERVED_PROVER};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
+use summa_guard::Spend;
 
 /// Requests reading the same snapshot generation share a key and may
 /// coalesce; `None` keys (ping/admit/critique) coalesce together.
@@ -67,7 +69,7 @@ impl Slot {
     /// (queue-wait / batch-formation / execute; the waiter adds the
     /// serialize phase). First fill wins — forever, even after the
     /// waiter has already collected it.
-    pub fn fill(&self, resp: Response, _steps: u64, phases: PhaseNs) -> bool {
+    pub fn fill(&self, resp: Response, phases: PhaseNs) -> bool {
         let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
         if state.filled {
             return false;
@@ -100,21 +102,18 @@ const BATCH_ATTEMPTS: u32 = 3;
 /// is empty, so every admitted request is answered before exit.
 pub(crate) fn scheduler_loop(shared: Arc<Shared>) {
     loop {
-        // popped_at closes every batched request's queue-wait phase;
-        // batch formation is timed separately around the coalescing
-        // scan (it runs under the queue lock, so on 1-core hosts it
-        // serializes against admissions — see BENCH_serve.json).
-        let (batch, popped_at, batch_form_ns, depth_after) = {
+        // popped_at closes every batched request's queue-wait phase.
+        // Under the lock we only pop the head and steal the pending
+        // remainder; the coalescing scan runs after the lock drops,
+        // so admissions never serialize behind batch formation.
+        let (first, mut rest) = {
             let mut q = shared
                 .queue
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(first) = q.pop_front() {
-                    let popped_at = Instant::now();
-                    let batch = collect_batch(first, &mut q, shared.cfg.max_batch);
-                    let batch_form_ns = popped_at.elapsed().as_nanos() as u64;
-                    break (batch, popped_at, batch_form_ns, q.len());
+                    break (first, std::mem::take(&mut *q));
                 }
                 if shared.draining.load(Ordering::SeqCst) {
                     return; // queue empty and no more admissions: done
@@ -124,6 +123,23 @@ pub(crate) fn scheduler_loop(shared: Arc<Shared>) {
                     .wait(q)
                     .unwrap_or_else(PoisonError::into_inner);
             }
+        };
+        let popped_at = Instant::now();
+        let batch = collect_batch(first, &mut rest, shared.cfg.max_batch);
+        let batch_form_ns = popped_at.elapsed().as_nanos() as u64;
+        // Entries the batch left behind go back where they were: at
+        // the front, ahead of anything admitted while we scanned.
+        // (Admissions racing the scan see a shorter queue, so depth
+        // gating is approximate for the scan's duration — by design.)
+        let depth_after = {
+            let mut q = shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while let Some(p) = rest.pop_back() {
+                q.push_front(p);
+            }
+            q.len()
         };
         shared.telemetry.sample_batch(batch.len(), depth_after);
         run_batch(&shared, batch, popped_at, batch_form_ns);
@@ -205,7 +221,8 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Pending>, popped_at: Instant, batc
                 wire::STATUS_ENGINE_ERROR,
                 wire::engine_error_body("batch execution failed after retries"),
                 0,
-                0,
+                SERVED_PROVER,
+                Spend::default(),
                 0,
                 base_phases(p),
             );
@@ -229,11 +246,17 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Pending>, popped_at: Instant, batc
                 .with("op", p.env.request.op().name());
             let t0 = Instant::now();
             let rb = shared.cfg.request_budget();
-            let ex = ops::execute(&shared.store, &p.env.request, &rb);
+            let ex = if shared.warm {
+                ops::execute_warm(&shared.store, &p.env.request, &rb)
+            } else {
+                ops::execute(&shared.store, &p.env.request, &rb)
+            };
             let elapsed_ns = t0.elapsed().as_nanos() as u64;
             let mut phases = base_phases(p);
             phases.execute_ns = elapsed_ns;
-            answer(shared, p, ex.status, ex.body, ex.epoch, ex.steps, elapsed_ns, phases);
+            answer(
+                shared, p, ex.status, ex.body, ex.epoch, ex.served, ex.spend, elapsed_ns, phases,
+            );
             shared.tracer.record_ns("serve.request.ns", elapsed_ns);
             Ok(())
         },
@@ -252,7 +275,8 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Pending>, popped_at: Instant, batc
             wire::STATUS_ENGINE_ERROR,
             wire::engine_error_body("request quarantined by the batch supervisor"),
             0,
-            0,
+            SERVED_PROVER,
+            Spend::default(),
             0,
             base_phases(p),
         );
@@ -260,7 +284,8 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Pending>, popped_at: Instant, batc
 }
 
 /// Fill a request's slot (first fill wins) and do the per-answer
-/// accounting exactly once: tenant ledger, counters, trace counters.
+/// accounting exactly once: tenant ledger, counters, trace counters,
+/// warm-path served attribution.
 #[allow(clippy::too_many_arguments)]
 fn answer(
     shared: &Arc<Shared>,
@@ -268,7 +293,8 @@ fn answer(
     status: u8,
     body: Vec<u8>,
     epoch: u64,
-    steps: u64,
+    served: u8,
+    spend: Spend,
     elapsed_ns: u64,
     phases: PhaseNs,
 ) {
@@ -278,15 +304,33 @@ fn answer(
         elapsed_ns,
         trace_id: shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1,
         epoch,
+        served,
+        spend,
         body,
     };
-    if !p.slot.fill(resp, steps, phases) {
+    if !p.slot.fill(resp, phases) {
         return; // a retried attempt already answered
     }
     if status == wire::STATUS_ENGINE_ERROR {
         shared.counters.engine_errors.fetch_add(1, Ordering::Relaxed);
         shared.tracer.add("serve.engine_error", 1);
     }
+    match served {
+        SERVED_INDEX => {
+            shared.counters.index_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        SERVED_CACHE => {
+            // A warm request the index could not answer alone: an
+            // index miss, with any shared-cache replays attributed.
+            shared.counters.index_misses.fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .cache_shared_hits
+                .fetch_add(spend.cache_hits, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    shared.telemetry.note_served(served, spend.cache_hits);
     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
     let mut tenants = shared
         .tenants
@@ -294,6 +338,6 @@ fn answer(
         .unwrap_or_else(PoisonError::into_inner);
     if let Some(t) = tenants.get_mut(&p.env.tenant) {
         t.pending = t.pending.saturating_sub(1);
-        t.consumed_steps = t.consumed_steps.saturating_add(steps);
+        t.consumed_steps = t.consumed_steps.saturating_add(spend.steps);
     }
 }

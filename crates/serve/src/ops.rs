@@ -18,33 +18,39 @@
 //! * `Spend.elapsed` — the one wall-clock field — never enters the
 //!   body (it rides in the response header).
 
-use crate::snapshot::SnapshotStore;
+use crate::snapshot::{Snapshot, SnapshotStore, WarmState};
 use crate::wire::{
-    self, put_spend, put_str, put_u32, put_u64, ProtoError, Request, OUTCOME_CANCELLED,
-    OUTCOME_COMPLETED, OUTCOME_EXHAUSTED, REASON_DEADLINE, REASON_FAULT, REASON_MEMORY,
-    REASON_NONE, REASON_STEPS, REASON_TASK_FAILURE, STATUS_OK, STATUS_PROTOCOL_ERROR,
+    self, put_str, put_u32, put_u64, ProtoError, Request, OUTCOME_CANCELLED, OUTCOME_COMPLETED,
+    OUTCOME_EXHAUSTED, REASON_DEADLINE, REASON_FAULT, REASON_MEMORY, REASON_NONE, REASON_STEPS,
+    REASON_TASK_FAILURE, SERVED_CACHE, SERVED_INDEX, SERVED_PROVER, STATUS_OK,
+    STATUS_PROTOCOL_ERROR,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use summa_core::prelude::{standard_corpus, standard_definitions, Verdict};
 use summa_dl::abox::ABox;
 use summa_dl::cache::SatCache;
-use summa_dl::classify::classify_parallel_governed_with;
+use summa_dl::classify::{classify_parallel_governed_with, ClassHierarchy};
 use summa_dl::concept::{Concept, Vocabulary};
 use summa_dl::parser::parse_concept;
-use summa_dl::realize::realize_parallel_governed_with;
+use summa_dl::realize::{
+    realize_parallel_governed_indexed, realize_parallel_governed_with, Realization,
+};
 use summa_dl::tableau::Tableau;
 use summa_guard::{Budget, ExhaustionReason, Governed, Interrupt, Spend};
 
 /// The result of executing one request: a wire status, the
 /// deterministic body bytes, the snapshot epoch answered against (0 if
-/// none), and the steps to charge the tenant's quota.
+/// none), how the answer was produced (`SERVED_*`), and the spend to
+/// charge the tenant's quota (rides in the response header, never the
+/// body).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Executed {
     pub status: u8,
     pub body: Vec<u8>,
     pub epoch: u64,
-    pub steps: u64,
+    pub served: u8,
+    pub spend: Spend,
 }
 
 impl Executed {
@@ -53,7 +59,8 @@ impl Executed {
             status: STATUS_PROTOCOL_ERROR,
             body: wire::protocol_error_body(&e),
             epoch,
-            steps: 0,
+            served: SERVED_PROVER,
+            spend: Spend::default(),
         }
     }
 }
@@ -74,16 +81,11 @@ fn interrupt_codes(i: Interrupt) -> (u8, u8) {
     }
 }
 
-/// Start an OK body: governed outcome + reason + deterministic spend.
-fn governed_header(buf: &mut Vec<u8>, outcome: u8, reason: u8, spend: &Spend) {
-    buf.push(outcome);
-    buf.push(reason);
-    put_spend(buf, spend);
-}
-
-fn ok_body(outcome: u8, reason: u8, spend: &Spend, payload: Option<Vec<u8>>) -> Vec<u8> {
-    let mut buf = Vec::new();
-    governed_header(&mut buf, outcome, reason, spend);
+/// Build an OK body: governed outcome + reason + optional payload.
+/// Since protocol v2 the spend rides in the response header, so bodies
+/// for matching answers are byte-identical warm-vs-cold.
+fn ok_body(outcome: u8, reason: u8, payload: Option<Vec<u8>>) -> Vec<u8> {
+    let mut buf = vec![outcome, reason];
     match payload {
         None => buf.push(0),
         Some(p) => {
@@ -97,19 +99,16 @@ fn ok_body(outcome: u8, reason: u8, spend: &Spend, payload: Option<Vec<u8>>) -> 
 /// Map a `Governed<T>` plus a payload serializer onto an OK body.
 /// Completed results always carry a payload; interrupted ones carry
 /// the partial when the substrate salvaged one.
-fn governed_body<T>(g: &Governed<T>, spend: &Spend, ser: impl Fn(&T) -> Vec<u8>) -> Vec<u8> {
+fn governed_body<T>(g: &Governed<T>, ser: impl Fn(&T) -> Vec<u8>) -> Vec<u8> {
     match g {
-        Governed::Completed(t) => ok_body(OUTCOME_COMPLETED, REASON_NONE, spend, Some(ser(t))),
+        Governed::Completed(t) => ok_body(OUTCOME_COMPLETED, REASON_NONE, Some(ser(t))),
         Governed::Exhausted { reason, partial } => {
             let (_, rc) = interrupt_codes(Interrupt::Exhausted(*reason));
-            ok_body(OUTCOME_EXHAUSTED, rc, spend, partial.as_ref().map(&ser))
+            ok_body(OUTCOME_EXHAUSTED, rc, partial.as_ref().map(&ser))
         }
-        Governed::Cancelled { partial } => ok_body(
-            OUTCOME_CANCELLED,
-            REASON_NONE,
-            spend,
-            partial.as_ref().map(&ser),
-        ),
+        Governed::Cancelled { partial } => {
+            ok_body(OUTCOME_CANCELLED, REASON_NONE, partial.as_ref().map(&ser))
+        }
     }
 }
 
@@ -162,6 +161,258 @@ pub fn parse_abox(text: &str, voc: &mut Vocabulary) -> Result<ABox, String> {
     Ok(abox)
 }
 
+/// Serialize a classification hierarchy payload. Shared between the
+/// cold classify path and the warm (precomputed) path so the bytes
+/// agree by construction.
+fn hierarchy_payload(h: &ClassHierarchy, voc: &Vocabulary) -> Vec<u8> {
+    let mut p = Vec::new();
+    let rows: Vec<_> = h.concepts().collect();
+    put_u32(&mut p, rows.len() as u32);
+    for c in rows {
+        put_str(&mut p, voc.concept_name(c));
+        let subs = h.subsumers_ref(c).cloned().unwrap_or_default();
+        put_u32(&mut p, subs.len() as u32);
+        for s in subs {
+            put_str(&mut p, voc.concept_name(s));
+        }
+    }
+    p
+}
+
+/// Serialize a realization payload. Shared between the cold and warm
+/// realize paths.
+fn realization_payload(real: &Realization, parsed: &ABox, voc: &Vocabulary) -> Vec<u8> {
+    let mut p = Vec::new();
+    let decided: Vec<_> = parsed
+        .individuals()
+        .filter(|&i| real.types_ref(i).is_some())
+        .collect();
+    put_u32(&mut p, decided.len() as u32);
+    for ind in decided {
+        put_str(&mut p, parsed.individual_name(ind));
+        for set in [real.types_ref(ind), real.most_specific_ref(ind)] {
+            let set = set.cloned().unwrap_or_default();
+            put_u32(&mut p, set.len() as u32);
+            for c in set {
+                put_str(&mut p, voc.concept_name(c));
+            }
+        }
+    }
+    p
+}
+
+/// Resolve a query string as a told atom of the snapshot's vocabulary
+/// **without interning** — a bare identifier token that is not a
+/// grammar keyword and is already interned resolves to exactly the
+/// `Concept::Atom` the full parse would produce. Anything else
+/// (complex expressions, unknown names, odd tokens) returns `None`
+/// and takes the parse path. This keeps the index fast path free of
+/// the per-request vocabulary clone, which would otherwise dominate a
+/// one-bit-test answer.
+fn told_atom(voc: &Vocabulary, s: &str) -> Option<summa_dl::concept::ConceptId> {
+    let t = s.trim();
+    let first = t.chars().next()?;
+    if !(first.is_alphabetic() || first == '_') {
+        return None;
+    }
+    if !t.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    if matches!(
+        t,
+        "top" | "bottom" | "some" | "all" | "atleast" | "atmost" | "exactly"
+    ) {
+        return None;
+    }
+    voc.find_concept(t)
+}
+
+/// Build the `Executed` for an index-decided pair: one charged step,
+/// the same completed body bytes the cold prover would produce.
+fn index_answer(holds: bool, epoch: u64, budget: &Budget) -> Executed {
+    let mut meter = budget.meter();
+    let body = match meter.charge(1) {
+        Ok(()) => ok_body(OUTCOME_COMPLETED, REASON_NONE, Some(vec![u8::from(holds)])),
+        Err(i) => {
+            let (oc, rc) = interrupt_codes(i);
+            ok_body(oc, rc, None)
+        }
+    };
+    Executed {
+        status: STATUS_OK,
+        body,
+        epoch,
+        served: SERVED_INDEX,
+        spend: meter.spend(),
+    }
+}
+
+/// Answer a subsumption query against one snapshot generation. With
+/// `warm`, a named-concept pair the snapshot's closure already decided
+/// answers by one index bit test (charging a single step), and
+/// fall-through queries prove against the epoch-shared [`SatCache`];
+/// without it, the query proves cold against a private tableau.
+fn subsumes_with(
+    snap: &Snapshot,
+    sub: &str,
+    sup: &str,
+    budget: &Budget,
+    warm: Option<&WarmState>,
+) -> Executed {
+    // Index fast path, clone-free: both names resolve as told atoms
+    // of the snapshot's own vocabulary and the closure has the bit.
+    if let Some(w) = warm {
+        if let (Some(sub_id), Some(sup_id)) =
+            (told_atom(&snap.voc, sub), told_atom(&snap.voc, sup))
+        {
+            if let Some(holds) = w.index.subsumes(sup_id, sub_id) {
+                return index_answer(holds, snap.epoch, budget);
+            }
+        }
+    }
+    // Query-local names intern into a private vocabulary clone,
+    // so concurrent requests never race on the snapshot's.
+    let mut voc = snap.voc.clone();
+    let sub_c = match parse_concept(sub, &mut voc) {
+        Ok(c) => c,
+        Err(e) => return Executed::proto(ProtoError::ParseError(e.to_string()), snap.epoch),
+    };
+    let sup_c = match parse_concept(sup, &mut voc) {
+        Ok(c) => c,
+        Err(e) => return Executed::proto(ProtoError::ParseError(e.to_string()), snap.epoch),
+    };
+    let mut meter = budget.meter();
+    if let Some(w) = warm {
+        // Second index chance after the full parse (e.g. a
+        // parenthesized atom the clone-free lookup skipped): the bit
+        // is the classifier's own answer for this pair, so the body
+        // matches the cold path byte-for-byte.
+        if let (Concept::Atom(a), Concept::Atom(b)) = (&sub_c, &sup_c) {
+            if let Some(holds) = w.index.subsumes(*b, *a) {
+                return index_answer(holds, snap.epoch, budget);
+            }
+        }
+    }
+    let mut reasoner = Tableau::new(&snap.tbox, &voc);
+    if let Some(w) = warm {
+        reasoner = reasoner.with_shared_cache(Arc::clone(&w.cache));
+    }
+    // sub ⊑ sup  iff  sub ⊓ ¬sup is unsatisfiable.
+    let query = Concept::and(vec![sub_c, Concept::not(sup_c)]);
+    let answer = reasoner.sat_metered(&query, &mut meter);
+    let spend = meter.spend();
+    let body = match answer {
+        Ok(sat) => ok_body(OUTCOME_COMPLETED, REASON_NONE, Some(vec![u8::from(!sat)])),
+        Err(i) => {
+            let (oc, rc) = interrupt_codes(i);
+            ok_body(oc, rc, None)
+        }
+    };
+    Executed {
+        status: STATUS_OK,
+        body,
+        epoch: snap.epoch,
+        served: if warm.is_some() {
+            SERVED_CACHE
+        } else {
+            SERVED_PROVER
+        },
+        spend,
+    }
+}
+
+/// The snapshot's warm state, if present and passing its integrity
+/// check. A corrupt index is never consulted — the query proves
+/// instead, exactly like a snapshot that shipped without one.
+fn intact_warm(snap: &Snapshot) -> Option<&WarmState> {
+    snap.warm.as_ref().filter(|w| w.index.is_intact())
+}
+
+/// Execute one request preferring the snapshot's warm state: index
+/// lookups for told subsumption, the stored classification for
+/// `classify`, and the epoch-shared [`SatCache`] (plus index-assisted
+/// most-specific filtering) for realization. Falls back to
+/// [`execute`] — the cold conformance baseline — whenever the
+/// snapshot has no intact warm state or the op has no warm variant.
+///
+/// Answer bodies are byte-identical to [`execute`] whenever both
+/// complete: index bits are the classifier's own answers and the
+/// shared cache only replays checksummed prover verdicts. What may
+/// legitimately differ is the header-only spend (and, under starved
+/// budgets, the outcome — which is why the server gates the warm path
+/// off for step-capped and fault-injected configurations).
+pub fn execute_warm(store: &SnapshotStore, req: &Request, budget: &Budget) -> Executed {
+    match req {
+        Request::Subsumes { snapshot, sub, sup } => {
+            let Some(snap) = store.get(snapshot) else {
+                return Executed::proto(ProtoError::UnknownSnapshot(snapshot.clone()), 0);
+            };
+            subsumes_with(&snap, sub, sup, budget, intact_warm(&snap))
+        }
+        Request::Classify { snapshot } => {
+            let Some(snap) = store.get(snapshot) else {
+                return Executed::proto(ProtoError::UnknownSnapshot(snapshot.clone()), 0);
+            };
+            let Some(w) = intact_warm(&snap) else {
+                return execute(store, req, budget);
+            };
+            // The stored hierarchy came from the same deterministic
+            // classifier the cold path runs, so the payload bytes are
+            // identical; serving it costs one charged step.
+            let mut meter = budget.meter();
+            let body = match meter.charge(1) {
+                Ok(()) => ok_body(
+                    OUTCOME_COMPLETED,
+                    REASON_NONE,
+                    Some(hierarchy_payload(&w.hierarchy, &snap.voc)),
+                ),
+                Err(i) => {
+                    let (oc, rc) = interrupt_codes(i);
+                    ok_body(oc, rc, None)
+                }
+            };
+            Executed {
+                status: STATUS_OK,
+                epoch: snap.epoch,
+                served: SERVED_INDEX,
+                spend: meter.spend(),
+                body,
+            }
+        }
+        Request::Realize { snapshot, abox } => {
+            let Some(snap) = store.get(snapshot) else {
+                return Executed::proto(ProtoError::UnknownSnapshot(snapshot.clone()), 0);
+            };
+            let Some(w) = intact_warm(&snap) else {
+                return execute(store, req, budget);
+            };
+            let mut voc = snap.voc.clone();
+            let parsed = match parse_abox(abox, &mut voc) {
+                Ok(a) => a,
+                Err(e) => return Executed::proto(ProtoError::ParseError(e), snap.epoch),
+            };
+            let (governed, spend) = realize_parallel_governed_indexed(
+                &snap.tbox,
+                &parsed,
+                &voc,
+                budget,
+                1,
+                Arc::clone(&w.cache),
+                Some(&w.index),
+            );
+            let body = governed_body(&governed, |real| realization_payload(real, &parsed, &voc));
+            Executed {
+                status: STATUS_OK,
+                epoch: snap.epoch,
+                served: SERVED_CACHE,
+                spend,
+                body,
+            }
+        }
+        _ => execute(store, req, budget),
+    }
+}
+
 /// Execute one request against the store under the given per-request
 /// budget. This function **is** the conformance baseline — see the
 /// module docs.
@@ -169,58 +420,16 @@ pub fn execute(store: &SnapshotStore, req: &Request, budget: &Budget) -> Execute
     match req {
         Request::Ping => Executed {
             status: STATUS_OK,
-            body: ok_body(
-                OUTCOME_COMPLETED,
-                REASON_NONE,
-                &Spend::default(),
-                Some(Vec::new()),
-            ),
+            body: ok_body(OUTCOME_COMPLETED, REASON_NONE, Some(Vec::new())),
             epoch: 0,
-            steps: 0,
+            served: SERVED_PROVER,
+            spend: Spend::default(),
         },
         Request::Subsumes { snapshot, sub, sup } => {
             let Some(snap) = store.get(snapshot) else {
                 return Executed::proto(ProtoError::UnknownSnapshot(snapshot.clone()), 0);
             };
-            // Query-local names intern into a private vocabulary clone,
-            // so concurrent requests never race on the snapshot's.
-            let mut voc = snap.voc.clone();
-            let sub_c = match parse_concept(sub, &mut voc) {
-                Ok(c) => c,
-                Err(e) => {
-                    return Executed::proto(ProtoError::ParseError(e.to_string()), snap.epoch)
-                }
-            };
-            let sup_c = match parse_concept(sup, &mut voc) {
-                Ok(c) => c,
-                Err(e) => {
-                    return Executed::proto(ProtoError::ParseError(e.to_string()), snap.epoch)
-                }
-            };
-            let mut reasoner = Tableau::new(&snap.tbox, &voc);
-            let mut meter = budget.meter();
-            // sub ⊑ sup  iff  sub ⊓ ¬sup is unsatisfiable.
-            let query = Concept::and(vec![sub_c, Concept::not(sup_c)]);
-            let answer = reasoner.sat_metered(&query, &mut meter);
-            let spend = meter.spend();
-            let body = match answer {
-                Ok(sat) => ok_body(
-                    OUTCOME_COMPLETED,
-                    REASON_NONE,
-                    &spend,
-                    Some(vec![u8::from(!sat)]),
-                ),
-                Err(i) => {
-                    let (oc, rc) = interrupt_codes(i);
-                    ok_body(oc, rc, &spend, None)
-                }
-            };
-            Executed {
-                status: STATUS_OK,
-                body,
-                epoch: snap.epoch,
-                steps: spend.steps,
-            }
+            subsumes_with(&snap, sub, sup, budget, None)
         }
         Request::Classify { snapshot } => {
             let Some(snap) = store.get(snapshot) else {
@@ -231,24 +440,12 @@ pub fn execute(store: &SnapshotStore, req: &Request, budget: &Budget) -> Execute
             let cache = Arc::new(SatCache::new());
             let (governed, spend) =
                 classify_parallel_governed_with(&snap.tbox, &snap.voc, budget, 1, cache);
-            let body = governed_body(&governed, &spend, |h| {
-                let mut p = Vec::new();
-                let rows: Vec<_> = h.concepts().collect();
-                put_u32(&mut p, rows.len() as u32);
-                for c in rows {
-                    put_str(&mut p, snap.voc.concept_name(c));
-                    let subs = h.subsumers_ref(c).cloned().unwrap_or_default();
-                    put_u32(&mut p, subs.len() as u32);
-                    for s in subs {
-                        put_str(&mut p, snap.voc.concept_name(s));
-                    }
-                }
-                p
-            });
+            let body = governed_body(&governed, |h| hierarchy_payload(h, &snap.voc));
             Executed {
                 status: STATUS_OK,
                 epoch: snap.epoch,
-                steps: spend.steps,
+                served: SERVED_PROVER,
+                spend,
                 body,
             }
         }
@@ -264,29 +461,12 @@ pub fn execute(store: &SnapshotStore, req: &Request, budget: &Budget) -> Execute
             let cache = Arc::new(SatCache::new());
             let (governed, spend) =
                 realize_parallel_governed_with(&snap.tbox, &parsed, &voc, budget, 1, cache);
-            let body = governed_body(&governed, &spend, |real| {
-                let mut p = Vec::new();
-                let decided: Vec<_> = parsed
-                    .individuals()
-                    .filter(|&i| real.types_ref(i).is_some())
-                    .collect();
-                put_u32(&mut p, decided.len() as u32);
-                for ind in decided {
-                    put_str(&mut p, parsed.individual_name(ind));
-                    for set in [real.types_ref(ind), real.most_specific_ref(ind)] {
-                        let set = set.cloned().unwrap_or_default();
-                        put_u32(&mut p, set.len() as u32);
-                        for c in set {
-                            put_str(&mut p, voc.concept_name(c));
-                        }
-                    }
-                }
-                p
-            });
+            let body = governed_body(&governed, |real| realization_payload(real, &parsed, &voc));
             Executed {
                 status: STATUS_OK,
                 epoch: snap.epoch,
-                steps: spend.steps,
+                served: SERVED_PROVER,
+                spend,
                 body,
             }
         }
@@ -306,7 +486,7 @@ pub fn execute(store: &SnapshotStore, req: &Request, budget: &Budget) -> Execute
             let body = match meter.charge(1) {
                 Err(i) => {
                     let (oc, rc) = interrupt_codes(i);
-                    ok_body(oc, rc, &meter.spend(), None)
+                    ok_body(oc, rc, None)
                 }
                 Ok(()) => {
                     // Panic isolation mirrors the critique's judge
@@ -326,13 +506,14 @@ pub fn execute(store: &SnapshotStore, req: &Request, budget: &Budget) -> Execute
                     let mut p = Vec::new();
                     p.push(verdict);
                     put_str(&mut p, &reason);
-                    ok_body(OUTCOME_COMPLETED, REASON_NONE, &meter.spend(), Some(p))
+                    ok_body(OUTCOME_COMPLETED, REASON_NONE, Some(p))
                 }
             };
             Executed {
                 status: STATUS_OK,
                 epoch: 0,
-                steps: meter.spend().steps,
+                served: SERVED_PROVER,
+                spend: meter.spend(),
                 body,
             }
         }
@@ -345,7 +526,7 @@ pub fn execute(store: &SnapshotStore, req: &Request, budget: &Budget) -> Execute
                 Some(m) => m.total_spend(),
                 None => Spend::default(),
             };
-            let body = governed_body(&governed, &spend, |m| {
+            let body = governed_body(&governed, |m| {
                 let mut p = Vec::new();
                 put_u32(&mut p, m.definitions.len() as u32);
                 for d in &m.definitions {
@@ -364,7 +545,8 @@ pub fn execute(store: &SnapshotStore, req: &Request, budget: &Budget) -> Execute
             Executed {
                 status: STATUS_OK,
                 epoch: 0,
-                steps: spend.steps,
+                served: SERVED_PROVER,
+                spend,
                 body,
             }
         }
@@ -377,9 +559,10 @@ pub fn execute(store: &SnapshotStore, req: &Request, budget: &Budget) -> Execute
                 put_u64(&mut p, snap.tbox.atoms().len() as u64);
                 Executed {
                     status: STATUS_OK,
-                    body: ok_body(OUTCOME_COMPLETED, REASON_NONE, &Spend::default(), Some(p)),
+                    body: ok_body(OUTCOME_COMPLETED, REASON_NONE, Some(p)),
                     epoch: snap.epoch,
-                    steps: 0,
+                    served: SERVED_PROVER,
+                    spend: Spend::default(),
                 }
             }
         },
@@ -421,7 +604,8 @@ mod tests {
         let ok = decode_ok_body(Op::Subsumes, &a.body).expect("decodes");
         assert_eq!(ok.outcome, OUTCOME_COMPLETED);
         assert_eq!(ok.payload, Some(Payload::Subsumes(true)));
-        assert!(ok.spend.steps > 0);
+        assert!(a.spend.steps > 0);
+        assert_eq!(a.served, SERVED_PROVER);
 
         let req = Request::Subsumes {
             snapshot: "vehicles".into(),
@@ -533,6 +717,76 @@ mod tests {
                 })
             );
         }
+    }
+
+    #[test]
+    fn warm_subsumes_answers_from_the_index_with_identical_body() {
+        let s = store();
+        let req = Request::Subsumes {
+            snapshot: "vehicles".into(),
+            sub: "car".into(),
+            sup: "motorvehicle".into(),
+        };
+        let cold = execute(&s, &req, &Budget::unlimited());
+        let warm = execute_warm(&s, &req, &Budget::unlimited());
+        assert_eq!(warm.body, cold.body, "byte-identical warm vs cold");
+        assert_eq!(warm.epoch, cold.epoch);
+        assert_eq!(warm.served, SERVED_INDEX);
+        assert_eq!(warm.spend.steps, 1, "index answers charge one step");
+        assert!(cold.spend.steps > warm.spend.steps);
+    }
+
+    #[test]
+    fn warm_complex_queries_fall_through_to_the_shared_cache() {
+        let s = store();
+        let req = Request::Subsumes {
+            snapshot: "vehicles".into(),
+            sub: "car".into(),
+            sup: "some uses.gasoline".into(),
+        };
+        let cold = execute(&s, &req, &Budget::unlimited());
+        let warm = execute_warm(&s, &req, &Budget::unlimited());
+        assert_eq!(warm.body, cold.body);
+        assert_eq!(warm.served, SERVED_CACHE);
+        // The same complex query a second time rides the shared cache.
+        let again = execute_warm(&s, &req, &Budget::unlimited());
+        assert_eq!(again.body, cold.body);
+        assert!(again.spend.cache_hits > 0, "epoch-shared cache warmed");
+    }
+
+    #[test]
+    fn warm_classify_and_realize_match_cold_bodies() {
+        let s = store();
+        for req in [
+            Request::Classify {
+                snapshot: "vehicles".into(),
+            },
+            Request::Realize {
+                snapshot: "vehicles".into(),
+                abox: "beetle : car\n".into(),
+            },
+        ] {
+            let cold = execute(&s, &req, &Budget::unlimited());
+            let warm = execute_warm(&s, &req, &Budget::unlimited());
+            assert_eq!(warm.body, cold.body, "{req:?}");
+            assert_eq!(warm.status, cold.status);
+            assert_ne!(warm.served, SERVED_PROVER);
+        }
+    }
+
+    #[test]
+    fn warm_falls_back_cold_for_unknown_snapshots_and_other_ops() {
+        let s = store();
+        let missing = Request::Subsumes {
+            snapshot: "missing".into(),
+            sub: "car".into(),
+            sup: "vehicle".into(),
+        };
+        let r = execute_warm(&s, &missing, &Budget::unlimited());
+        assert_eq!(r.status, STATUS_PROTOCOL_ERROR);
+        let ping = execute_warm(&s, &Request::Ping, &Budget::unlimited());
+        assert_eq!(ping, execute(&s, &Request::Ping, &Budget::unlimited()));
+        assert_eq!(ping.served, SERVED_PROVER);
     }
 
     #[test]

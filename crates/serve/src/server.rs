@@ -78,6 +78,12 @@ pub struct ServerConfig {
     /// sampling). Enabled by default; disabling reduces the per-request
     /// cost to one relaxed atomic load.
     pub telemetry: TelemetryConfig,
+    /// Force the per-request-fresh cold path even when snapshots carry
+    /// a warm state (A/B lanes, chaos conformance). Defaults from
+    /// `SUMMA_SERVE_COLD=1`. Configs with a request fault plan or a
+    /// request step cap run cold regardless — see
+    /// [`ServerConfig::warm_eligible`].
+    pub cold: bool,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +99,7 @@ impl Default for ServerConfig {
             pool_budget: Budget::unlimited(),
             tracer: Tracer::global().clone(),
             telemetry: TelemetryConfig::default(),
+            cold: std::env::var("SUMMA_SERVE_COLD").map(|v| v == "1").unwrap_or(false),
         }
     }
 }
@@ -115,6 +122,16 @@ impl ServerConfig {
             None => FaultInjector::new(0),
         };
         b.with_injector(Arc::new(injector))
+    }
+
+    /// Whether this configuration may answer from the warm path
+    /// ([`crate::ops::execute_warm`]). Warm answers carry bodies
+    /// byte-identical to cold ones only when both *complete*, so any
+    /// config that deliberately interrupts requests — a fault plan or
+    /// a per-request step cap — runs fully cold, as does an explicit
+    /// `cold` opt-out.
+    pub fn warm_eligible(&self) -> bool {
+        !self.cold && self.request_fault_plan.is_none() && self.request_steps.is_none()
     }
 }
 
@@ -141,6 +158,9 @@ pub(crate) struct Counters {
     pub snapshot_loads: AtomicU64,
     pub accept_faults: AtomicU64,
     pub batch_retries: AtomicU64,
+    pub index_hits: AtomicU64,
+    pub index_misses: AtomicU64,
+    pub cache_shared_hits: AtomicU64,
 }
 
 /// A point-in-time snapshot of the server's exact accounting.
@@ -174,6 +194,16 @@ pub struct ServeStats {
     pub accept_faults: u64,
     /// `serve.batch` fault retries.
     pub batch_retries: u64,
+    /// Requests answered straight from a snapshot's precomputed
+    /// [`HierarchyIndex`](summa_dl::index::HierarchyIndex) (subset of
+    /// `completed`).
+    pub index_hits: u64,
+    /// Warm-path requests the index could not answer alone (they
+    /// proved, with the epoch-shared cache).
+    pub index_misses: u64,
+    /// Sat-cache hits served from a snapshot's epoch-shared cache by
+    /// warm fall-through requests.
+    pub cache_shared_hits: u64,
 }
 
 impl ServeStats {
@@ -201,6 +231,9 @@ impl ServeStats {
             ("snapshot_loads".into(), self.snapshot_loads),
             ("accept_faults".into(), self.accept_faults),
             ("batch_retries".into(), self.batch_retries),
+            ("index_hits".into(), self.index_hits),
+            ("index_misses".into(), self.index_misses),
+            ("cache_shared_hits".into(), self.cache_shared_hits),
         ]
     }
 }
@@ -209,6 +242,9 @@ impl ServeStats {
 /// scheduler.
 pub(crate) struct Shared {
     pub cfg: ServerConfig,
+    /// `cfg.warm_eligible()`, resolved once at startup — the batch
+    /// workers branch on this per request.
+    pub warm: bool,
     pub store: SnapshotStore,
     pub queue: Mutex<VecDeque<Pending>>,
     pub queue_cv: Condvar,
@@ -244,6 +280,9 @@ impl Shared {
             snapshot_loads: c.snapshot_loads.load(Ordering::Relaxed),
             accept_faults: c.accept_faults.load(Ordering::Relaxed),
             batch_retries: c.batch_retries.load(Ordering::Relaxed),
+            index_hits: c.index_hits.load(Ordering::Relaxed),
+            index_misses: c.index_misses.load(Ordering::Relaxed),
+            cache_shared_hits: c.cache_shared_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -274,8 +313,10 @@ impl Server {
         let addr = listener.local_addr()?;
         let tracer = cfg.tracer.clone();
         let telemetry = TelemetryPlane::new(cfg.telemetry.clone());
+        let warm = cfg.warm_eligible();
         let shared = Arc::new(Shared {
             cfg,
+            warm,
             store,
             telemetry,
             queue: Mutex::new(VecDeque::new()),
@@ -513,6 +554,8 @@ fn reject_protocol(shared: &Arc<Shared>, stream: &mut TcpStream, id: u64, e: Pro
         elapsed_ns: 0,
         trace_id: shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1,
         epoch: 0,
+        served: wire::SERVED_PROVER,
+        spend: summa_guard::Spend::default(),
         body: wire::protocol_error_body(&e),
     };
     let _ = send(stream, &resp);
@@ -530,6 +573,8 @@ fn reject_overload(shared: &Arc<Shared>, stream: &mut TcpStream, id: u64, o: Ove
         elapsed_ns: 0,
         trace_id: shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1,
         epoch: 0,
+        served: wire::SERVED_PROVER,
+        spend: summa_guard::Spend::default(),
         body: wire::overload_body(o, detail),
     };
     let _ = send(stream, &resp);
@@ -555,7 +600,6 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, env: Envelope) -> bool
             let mut body = Vec::new();
             body.push(wire::OUTCOME_COMPLETED);
             body.push(wire::REASON_NONE);
-            wire::put_spend(&mut body, &summa_guard::Spend::default());
             body.push(1);
             body.extend_from_slice(&payload);
             let resp = Response {
@@ -564,6 +608,8 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, env: Envelope) -> bool
                 elapsed_ns: 0,
                 trace_id: shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1,
                 epoch: 0,
+                served: wire::SERVED_PROVER,
+                spend: summa_guard::Spend::default(),
                 body,
             };
             send(stream, &resp)
@@ -597,7 +643,6 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, env: Envelope) -> bool
             let mut body = Vec::new();
             body.push(wire::OUTCOME_COMPLETED);
             body.push(wire::REASON_NONE);
-            wire::put_spend(&mut body, &summa_guard::Spend::default());
             body.push(1);
             body.extend_from_slice(&payload);
             let resp = Response {
@@ -606,6 +651,8 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, env: Envelope) -> bool
                 elapsed_ns: 0,
                 trace_id: shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1,
                 epoch: 0,
+                served: wire::SERVED_PROVER,
+                spend: summa_guard::Spend::default(),
                 body,
             };
             send(stream, &resp)
@@ -624,6 +671,8 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, env: Envelope) -> bool
                 elapsed_ns: t0.elapsed().as_nanos() as u64,
                 trace_id: shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1,
                 epoch: ex.epoch,
+                served: ex.served,
+                spend: ex.spend,
                 body: ex.body,
             };
             send(stream, &resp)

@@ -14,11 +14,39 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
-use summa_dl::cache::tbox_fingerprint;
+use summa_dl::cache::{tbox_fingerprint, SatCache};
+use summa_dl::classify::{classify_parallel_governed_with, ClassHierarchy};
 use summa_dl::concept::Vocabulary;
 use summa_dl::corpus::{animals_tbox, animals_tbox_repaired, vehicles_tbox, PaperVocab};
+use summa_dl::index::HierarchyIndex;
 use summa_dl::parser::parse_axiom;
 use summa_dl::tbox::{Axiom, TBox};
+use summa_guard::{Budget, Governed};
+
+/// Step ceiling for the install-time warm classification. A hostile
+/// wire-loaded TBox must not be able to wedge `install` — if the
+/// governed classifier exhausts this budget the snapshot simply ships
+/// without a warm state and every query falls back to the prover.
+const WARM_CLASSIFY_STEPS: u64 = 2_000_000;
+
+/// The warm-path state precomputed at snapshot install time: the full
+/// classification of the snapshot's TBox, its packed
+/// [`HierarchyIndex`], and the epoch-shared [`SatCache`] (pre-warmed
+/// by the classification itself) that fall-through prover queries
+/// share across requests and tenants. Dropped atomically with its
+/// snapshot generation on hot-swap — a stale index can never answer,
+/// because requests resolve the whole `Arc<Snapshot>` at execute time.
+#[derive(Debug)]
+pub struct WarmState {
+    /// The completed classification (serialized verbatim for warm
+    /// `classify` answers).
+    pub hierarchy: ClassHierarchy,
+    /// Packed ancestor/descendant bitsets over the hierarchy's atoms.
+    pub index: HierarchyIndex,
+    /// Shared per-(fingerprint, epoch) sat cache; entries are
+    /// checksummed as in the resilience layer.
+    pub cache: Arc<SatCache>,
+}
 
 /// One immutable generation of a named ontology.
 #[derive(Debug)]
@@ -31,6 +59,10 @@ pub struct Snapshot {
     pub fingerprint: u64,
     pub tbox: TBox,
     pub voc: Vocabulary,
+    /// `None` when the install-time classification exhausted its step
+    /// ceiling (or the partial hierarchy was unclosed) — such
+    /// snapshots serve every query cold.
+    pub warm: Option<WarmState>,
 }
 
 /// The server's snapshot registry.
@@ -85,10 +117,12 @@ impl SnapshotStore {
         self.next_epoch.load(Ordering::SeqCst)
     }
 
-    /// Install (or replace) a snapshot. The snapshot is built entirely
-    /// before the write lock is taken; the lock only swaps one `Arc`.
+    /// Install (or replace) a snapshot. The snapshot — including its
+    /// warm classification index — is built entirely before the write
+    /// lock is taken; the lock only swaps one `Arc`.
     pub fn install(&self, name: &str, tbox: TBox, voc: Vocabulary) -> Arc<Snapshot> {
         let fingerprint = tbox_fingerprint(&tbox);
+        let warm = build_warm(&tbox, &voc);
         let epoch = self.next_epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let snap = Arc::new(Snapshot {
             name: name.to_string(),
@@ -96,6 +130,7 @@ impl SnapshotStore {
             fingerprint,
             tbox,
             voc,
+            warm,
         });
         self.by_name
             .write()
@@ -113,6 +148,28 @@ impl SnapshotStore {
         let (tbox, voc) = parse_tbox(text)?;
         Ok(self.install(name, tbox, voc))
     }
+}
+
+/// Classify once at install time and pack the result into a
+/// [`WarmState`]. The classification runs under a bounded budget and
+/// writes into the cache that becomes the snapshot's epoch-shared
+/// [`SatCache`], so the warm state ships pre-warmed. Returns `None`
+/// when classification did not complete or the hierarchy would not
+/// index (partial/unclosed) — the snapshot then serves cold.
+fn build_warm(tbox: &TBox, voc: &Vocabulary) -> Option<WarmState> {
+    let cache = Arc::new(SatCache::new());
+    let budget = Budget::new().with_steps(WARM_CLASSIFY_STEPS);
+    let (governed, _spend) =
+        classify_parallel_governed_with(tbox, voc, &budget, 1, Arc::clone(&cache));
+    let Governed::Completed(hierarchy) = governed else {
+        return None;
+    };
+    let index = HierarchyIndex::build(&hierarchy)?;
+    Some(WarmState {
+        hierarchy,
+        index,
+        cache,
+    })
 }
 
 /// Parse axiom text into a `(TBox, Vocabulary)` pair without touching
@@ -169,6 +226,23 @@ mod tests {
         assert!(store
             .install_axioms("broken", "car < < vehicle")
             .is_err());
+    }
+
+    #[test]
+    fn installs_build_an_intact_warm_state_per_generation() {
+        let store = SnapshotStore::with_builtins();
+        let v = store.get("vehicles").expect("vehicles");
+        let warm = v.warm.as_ref().expect("warm built at install");
+        assert!(warm.index.is_intact());
+        assert_eq!(warm.index.len(), warm.hierarchy.concepts().count());
+        // The install-time classification pre-warms the shared cache.
+        assert!(warm.cache.stats().entries > 0);
+        // A hot swap carries its own fresh warm state — distinct
+        // cache, same answers for the same axioms.
+        let v2 = store.install("vehicles", v.tbox.clone(), v.voc.clone());
+        let warm2 = v2.warm.as_ref().expect("rebuilt on swap");
+        assert!(!Arc::ptr_eq(&warm.cache, &warm2.cache));
+        assert_eq!(warm.index, warm2.index);
     }
 
     #[test]

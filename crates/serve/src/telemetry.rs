@@ -36,7 +36,7 @@
 //! always reconciles.
 
 use crate::server::ServeStats;
-use crate::wire::{Op, Response, OUTCOME_COMPLETED, STATUS_OK};
+use crate::wire::{Op, Response, OUTCOME_COMPLETED, SERVED_CACHE, SERVED_INDEX, STATUS_OK};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -242,6 +242,13 @@ pub struct TelemetryPlane {
     queue_depth_ring: SeriesRing,
     in_flight_ring: SeriesRing,
     batch_occupancy_ring: SeriesRing,
+    /// Warm-path attribution counters, resolved at construction and
+    /// exported through the registry loop as
+    /// `summa_serve_index_hit_total`, `summa_serve_index_miss_total`,
+    /// and `summa_serve_cache_shared_hit_total`.
+    index_hit: Arc<AtomicU64>,
+    index_miss: Arc<AtomicU64>,
+    cache_shared_hit: Arc<AtomicU64>,
     /// Tenant handles; the map is bounded by [`TENANT_CAP`] + the
     /// overflow entry.
     tenants: Mutex<BTreeMap<String, Arc<TenantTelemetry>>>,
@@ -265,6 +272,9 @@ impl TelemetryPlane {
         let queue_depth = registry.gauge("serve.queue_depth");
         let in_flight = registry.gauge("serve.in_flight");
         let batch_occupancy = registry.gauge("serve.batch_occupancy");
+        let index_hit = registry.counter("serve.index.hit");
+        let index_miss = registry.counter("serve.index.miss");
+        let cache_shared_hit = registry.counter("serve.cache.shared_hit");
         let mut tenants = BTreeMap::new();
         tenants.insert(
             OVERFLOW_TENANT.to_string(),
@@ -276,6 +286,9 @@ impl TelemetryPlane {
             queue_depth,
             in_flight,
             batch_occupancy,
+            index_hit,
+            index_miss,
+            cache_shared_hit,
             queue_depth_ring: SeriesRing::new(cfg.ring_capacity),
             in_flight_ring: SeriesRing::new(cfg.ring_capacity),
             batch_occupancy_ring: SeriesRing::new(cfg.ring_capacity),
@@ -341,6 +354,27 @@ impl TelemetryPlane {
     pub fn in_flight_add(&self, delta: i64) {
         if self.enabled() {
             self.in_flight.add(delta);
+        }
+    }
+
+    /// Attribute one answered request to the warm path: an index hit
+    /// (answered with zero tableau calls), or an index miss that
+    /// proved with the epoch-shared cache (crediting its cache-hit
+    /// replays). Cold/prover answers record nothing here.
+    pub fn note_served(&self, served: u8, shared_cache_hits: u64) {
+        if !self.enabled() {
+            return;
+        }
+        match served {
+            SERVED_INDEX => {
+                self.index_hit.fetch_add(1, Ordering::Relaxed);
+            }
+            SERVED_CACHE => {
+                self.index_miss.fetch_add(1, Ordering::Relaxed);
+                self.cache_shared_hit
+                    .fetch_add(shared_cache_hits, Ordering::Relaxed);
+            }
+            _ => {}
         }
     }
 
@@ -712,6 +746,8 @@ mod tests {
             elapsed_ns: 0,
             trace_id,
             epoch: 0,
+            served: crate::wire::SERVED_PROVER,
+            spend: summa_guard::Spend::default(),
             body: vec![OUTCOME_COMPLETED],
         }
     }
@@ -840,6 +876,29 @@ mod tests {
         let json = p.slow_log_chrome_json();
         let n = validate_chrome_trace(&json).expect("chrome trace validates");
         assert!(n >= PHASES.len());
+    }
+
+    #[test]
+    fn served_attribution_counters_export_and_lint() {
+        let p = plane(TelemetryConfig::default());
+        p.note_served(SERVED_INDEX, 0);
+        p.note_served(SERVED_INDEX, 0);
+        p.note_served(SERVED_CACHE, 7);
+        p.note_served(crate::wire::SERVED_PROVER, 3); // cold: unattributed
+        let text = p.prometheus_text(&ServeStats::default());
+        validate_exposition(&text).expect("exposition lints clean");
+        assert!(text.contains("summa_serve_index_hit_total 2"));
+        assert!(text.contains("summa_serve_index_miss_total 1"));
+        assert!(text.contains("summa_serve_cache_shared_hit_total 7"));
+
+        let off = plane(TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::default()
+        });
+        off.note_served(SERVED_INDEX, 0);
+        assert!(off
+            .prometheus_text(&ServeStats::default())
+            .contains("summa_serve_index_hit_total 0"));
     }
 
     #[test]

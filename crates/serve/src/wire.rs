@@ -7,27 +7,32 @@
 //! ```text
 //! request  := version:u8 op:u8 request_id:u64 tenant:str op-body
 //! response := version:u8 status:u8 request_id:u64 elapsed_ns:u64
-//!             trace_id:u64 epoch:u64 body_len:u32 body
+//!             trace_id:u64 epoch:u64 served:u8 spend:6×u64
+//!             body_len:u32 body
+//! spend    := steps peak_memory cache_hits cache_misses retries quarantined
 //! str      := len:u32 utf8-bytes
 //! ```
 //!
 //! All integers are little-endian. The response **header** carries the
-//! fields that legitimately vary run-to-run (wall-clock, trace handle,
-//! snapshot epoch); the response **body** is fully deterministic — for
-//! a given snapshot, request, and request budget it is byte-identical
-//! to the direct library call (see [`crate::ops`]). The conformance
-//! suite compares bodies, not headers.
+//! fields that legitimately vary run-to-run: wall-clock, trace handle,
+//! snapshot epoch, the [`SERVED_PROVER`]/[`SERVED_INDEX`]/
+//! [`SERVED_CACHE`] marker saying which machinery answered, and —
+//! since protocol version 2 — the `Spend` counters, which the warm
+//! path legitimately shifts (an index hit proves nothing; a shared
+//! cache converts misses into hits). The response **body** is fully
+//! deterministic: for a given snapshot, request, and request budget it
+//! is byte-identical to the direct library call (see [`crate::ops`]),
+//! warm or cold. The conformance suites compare bodies, not headers.
 //!
 //! An OK body is a governed result:
 //!
 //! ```text
-//! ok-body  := outcome:u8 reason:u8 spend:6×u64 has_payload:u8 payload
-//! spend    := steps peak_memory cache_hits cache_misses retries quarantined
+//! ok-body  := outcome:u8 reason:u8 has_payload:u8 payload
 //! ```
 //!
-//! `Spend.elapsed` is deliberately *not* serialized in the body — it is
-//! the one nondeterministic spend field, and it already travels in the
-//! header as `elapsed_ns`.
+//! `Spend.elapsed` is deliberately *not* serialized in the spend block
+//! — it is the one always-nondeterministic spend field, and it already
+//! travels in the header as `elapsed_ns`.
 //!
 //! Error bodies are typed, never free-form disconnects:
 //!
@@ -40,8 +45,11 @@
 use std::io::{self, Read, Write};
 use summa_guard::Spend;
 
-/// Protocol version understood by this build.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version understood by this build. Version 2 moved the
+/// `Spend` block out of the OK body into the response header and added
+/// the header `served` marker; version-1 frames are answered with a
+/// typed [`ProtoError::BadVersion`], never a disconnect.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard ceiling on frame payloads (1 MiB). A length prefix above this
 /// is rejected *before* any allocation, so a hostile 4 GiB length
@@ -66,6 +74,27 @@ pub const REASON_DEADLINE: u8 = 1;
 pub const REASON_MEMORY: u8 = 2;
 pub const REASON_FAULT: u8 = 3;
 pub const REASON_TASK_FAILURE: u8 = 4;
+
+/// Header `served` marker: which machinery produced the answer. The
+/// body bytes are identical whichever one ran — the marker exists so
+/// clients and benches can attribute latency, not semantics.
+pub const SERVED_PROVER: u8 = 0;
+/// Answered from the snapshot's precomputed
+/// [`HierarchyIndex`](summa_dl::index::HierarchyIndex) — zero tableau
+/// calls.
+pub const SERVED_INDEX: u8 = 1;
+/// Proved, but against the snapshot's epoch-shared `SatCache`.
+pub const SERVED_CACHE: u8 = 2;
+
+/// Human name of a `served` marker (benches, `serve_top`).
+pub fn served_name(s: u8) -> &'static str {
+    match s {
+        SERVED_PROVER => "prover",
+        SERVED_INDEX => "index",
+        SERVED_CACHE => "cache",
+        _ => "unknown",
+    }
+}
 
 /// Version of the `Telemetry` op's body layout. Bumped independently
 /// of [`PROTOCOL_VERSION`] so scrape tooling can evolve without
@@ -206,6 +235,15 @@ pub struct Response {
     /// Epoch of the snapshot the answer was computed against (0 when
     /// no snapshot was involved).
     pub epoch: u64,
+    /// Which machinery answered ([`SERVED_PROVER`], [`SERVED_INDEX`],
+    /// [`SERVED_CACHE`]); varies warm-vs-cold by design.
+    pub served: u8,
+    /// The request's spend counters. Header, not body: the warm path
+    /// legitimately changes them (fewer steps on an index hit, hits
+    /// instead of misses against the shared cache). `elapsed` is not
+    /// carried here — it travels as `elapsed_ns`; decoding leaves it
+    /// zero.
+    pub spend: Spend,
     /// Deterministic body bytes (governed result or typed error).
     pub body: Vec<u8>,
 }
@@ -510,6 +548,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     put_u64(&mut buf, resp.elapsed_ns);
     put_u64(&mut buf, resp.trace_id);
     put_u64(&mut buf, resp.epoch);
+    buf.push(resp.served);
+    put_spend(&mut buf, &resp.spend);
     put_u32(&mut buf, resp.body.len() as u32);
     buf.extend_from_slice(&resp.body);
     buf
@@ -527,6 +567,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let elapsed_ns = r.u64()?;
     let trace_id = r.u64()?;
     let epoch = r.u64()?;
+    let served = r.u8()?;
+    let spend = r.spend()?;
     let body_len = r.u32()? as usize;
     if body_len != r.remaining() {
         return Err(ProtoError::Malformed("body length mismatch"));
@@ -538,6 +580,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         elapsed_ns,
         trace_id,
         epoch,
+        served,
+        spend,
         body,
     })
 }
@@ -606,12 +650,13 @@ pub enum Payload {
     },
 }
 
-/// Decoded OK body: governed outcome + deterministic spend + payload.
+/// Decoded OK body: governed outcome + payload. Spend is **not** here
+/// — since protocol version 2 it rides in the response header
+/// ([`Response::spend`]), keeping bodies byte-identical warm-vs-cold.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OkBody {
     pub outcome: u8,
     pub reason: u8,
-    pub spend: Spend,
     pub payload: Option<Payload>,
 }
 
@@ -620,7 +665,6 @@ pub fn decode_ok_body(op: Op, body: &[u8]) -> Result<OkBody, ProtoError> {
     let mut r = FrameReader::new(body);
     let outcome = r.u8()?;
     let reason = r.u8()?;
-    let spend = r.spend()?;
     let has_payload = r.u8()?;
     let payload = if has_payload == 0 {
         None
@@ -707,7 +751,6 @@ pub fn decode_ok_body(op: Op, body: &[u8]) -> Result<OkBody, ProtoError> {
     Ok(OkBody {
         outcome,
         reason,
-        spend,
         payload,
     })
 }
@@ -861,10 +904,40 @@ mod tests {
             elapsed_ns: 123,
             trace_id: 9,
             epoch: 3,
+            served: SERVED_INDEX,
+            spend: Spend {
+                steps: 11,
+                peak_memory: 5,
+                cache_hits: 2,
+                cache_misses: 1,
+                retries: 0,
+                quarantined: 0,
+                ..Spend::default()
+            },
             body: vec![1, 2, 3],
         };
         let bytes = encode_response(&resp);
         assert_eq!(decode_response(&bytes).expect("round trip"), resp);
+    }
+
+    #[test]
+    fn v1_response_frames_are_rejected_as_bad_version() {
+        let resp = Response {
+            id: 7,
+            status: STATUS_OK,
+            elapsed_ns: 0,
+            trace_id: 0,
+            epoch: 0,
+            served: SERVED_PROVER,
+            spend: Spend::default(),
+            body: vec![],
+        };
+        let mut bytes = encode_response(&resp);
+        bytes[0] = 1; // the pre-served/spend header layout
+        assert!(matches!(
+            decode_response(&bytes),
+            Err(ProtoError::BadVersion(1))
+        ));
     }
 
     #[test]

@@ -36,6 +36,14 @@ SUMMA_FAULT_PLAN="$CHAOS_PLAN" SUMMA_FAULT_SEED=1405 SUMMA_THREADS=1 \
 SUMMA_FAULT_PLAN="$CHAOS_PLAN" SUMMA_FAULT_SEED=1405 SUMMA_THREADS=4 \
     cargo test -q -p summa-core --test integration_resilience
 
+# Cold-serve chaos lane: the SUMMA_SERVE_COLD=1 escape hatch forces
+# every default-configured server onto the per-request-fresh path; the
+# serving conformance suites must hold unchanged (warm-path tests pin
+# their own cold/warm configs explicitly, so they gate both paths).
+echo "==> cold-serve lane: SUMMA_SERVE_COLD=1 serve suites"
+SUMMA_SERVE_COLD=1 cargo test -q -p summa-serve --test integration_serve
+SUMMA_SERVE_COLD=1 cargo test -q -p summa-serve --test integration_warmpath
+
 # Bench smoke lane: one sample per classification strategy. The bench
 # itself asserts brute-force ≡ enhanced hierarchies and the diamond
 # sat-call acceptance ratio; the validator gates the report format.
@@ -63,17 +71,21 @@ echo "==> telemetry lane: lint scraped artifacts"
 cargo run -q -p summa-obs --example lint_exposition -- \
     target/telemetry_serve.prom \
     summa_serve_phase_queue_wait_ns summa_serve_phase_execute_ns \
-    summa_serve_tenant_requests_total summa_serve_slow_log_triggered_total
+    summa_serve_tenant_requests_total summa_serve_slow_log_triggered_total \
+    summa_serve_index_hit_total summa_serve_index_miss_total \
+    summa_serve_cache_shared_hit_total
 cargo run -q -p summa-obs --example validate_json -- \
     target/telemetry_slowlog.json traceEvents
 echo "    telemetry_serve.prom + telemetry_slowlog.json: valid"
 
-# Serve bench smoke: batched vs unbatched latency over real loopback
-# TCP; the validator gates the report format.
+# Serve bench smoke: batched vs unbatched scheduling plus cold vs warm
+# serving over real loopback TCP; the validator gates the report format
+# (including the warm-path speedup field — the 5x acceptance assert
+# itself only arms on non-smoke runs).
 echo "==> SUMMA_BENCH_SMOKE=1 cargo bench --bench serve"
 SUMMA_BENCH_SMOKE=1 cargo bench --bench serve
 cargo run -q -p summa-obs --example validate_json -- \
-    BENCH_serve.json bench generated_at workloads
+    BENCH_serve.json bench generated_at warm_execute_speedup workloads
 echo "    BENCH_serve.json: valid"
 
 if cargo clippy --version >/dev/null 2>&1; then

@@ -31,6 +31,17 @@ use summa_serve::wire::{
 const FAULT_PLAN: &str = "dl.cache.insert@3=trip;dl.realize.individual@1=trip";
 const FAULT_SEED: u64 = 1405;
 
+/// A request's observation lands *after* its response frame is written
+/// (the serialize phase must include the write), so a client that just
+/// received the last answer can race the handler's bookkeeping by a
+/// few microseconds. Settle before asserting on the plane's books.
+fn wait_until(cond: impl Fn() -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !cond() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
 /// A workload with happy paths, a fault-exhausted realize, and typed
 /// error paths — the latter two must trip the tail sampler.
 fn workload() -> Vec<Request> {
@@ -105,10 +116,15 @@ fn assert_telemetry_conformance(threads: usize) {
         assert_eq!(resp.epoch, want.epoch);
     }
 
-    // Every admitted request is answered before `call` returns, so the
-    // plane's counts are final here. The scrape itself is an admin op
-    // and never enters the histograms.
+    // Every admitted request is answered before `call` returns; its
+    // observation follows within the handler. The scrape itself is an
+    // admin op and never enters the histograms.
     let plane = server.telemetry();
+    let want_n = reqs.len() as u64;
+    wait_until(|| {
+        let (c, d, t) = plane.slow_log_counts();
+        plane.recorded_requests() == want_n && t == want_n && c + d == t
+    });
     let recorded = plane.recorded_requests();
     assert_eq!(recorded, reqs.len() as u64, "one observation per request");
     let (captured, dropped, triggered) = plane.slow_log_counts();
@@ -170,6 +186,9 @@ fn error_triggers_tail_sample_without_threshold() {
         .expect("answered");
     assert_eq!(faulted.status, STATUS_OK);
 
+    wait_until(|| {
+        server.telemetry().recorded_requests() == 3 && server.telemetry().slow_log_counts().2 == 2
+    });
     let (captured, dropped, triggered) = server.telemetry().slow_log_counts();
     assert_eq!(triggered, 2, "error + interrupted outcomes trigger; ping does not");
     assert_eq!(captured, 2);
@@ -251,6 +270,7 @@ fn per_tenant_attribution_reconciles() {
     for h in handles {
         h.join().expect("tenant thread");
     }
+    wait_until(|| server.telemetry().recorded_requests() == 10);
     assert_eq!(server.telemetry().recorded_requests(), 10);
     let mut client = Client::connect(addr, "scraper").expect("connects");
     let prom = client
