@@ -482,6 +482,15 @@ impl Interner {
         self.misses
     }
 
+    /// Handle of `¬c` if that exact node is already interned; `None`
+    /// otherwise. A pure probe: nothing is allocated and the hit/miss
+    /// bookkeeping is untouched, so the incremental clash check can
+    /// ask "could any label contain the complement of `c`?" in O(1) —
+    /// a negation that was never interned cannot appear in any label.
+    pub fn probe_not(&self, c: ConceptRef) -> Option<ConceptRef> {
+        self.index.get(&CNode::Not(c)).map(|&id| ConceptRef(id))
+    }
+
     /// Hash-cons one node: reuse the existing handle when the exact
     /// node was seen before, allocate otherwise.
     fn mk(&mut self, node: CNode) -> ConceptRef {

@@ -56,6 +56,7 @@ pub mod error;
 pub mod fxhash;
 pub mod generate;
 pub mod index;
+mod kernel;
 pub mod parser;
 pub mod realize;
 pub mod tableau;

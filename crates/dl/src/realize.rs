@@ -84,10 +84,10 @@ pub fn realize(tbox: &TBox, abox: &ABox, voc: &Vocabulary) -> Result<Realization
     for ind in abox.individuals() {
         let mut set = BTreeSet::new();
         for &c in &atoms {
-            // KB ⊨ C(a) iff KB ∪ {¬C(a)} inconsistent.
-            let mut extended = abox.clone();
-            extended.assert_concept(ind, Concept::not(Concept::atom(c)));
-            if !reasoner.try_is_consistent(&extended)? {
+            // KB ⊨ C(a) iff KB ∪ {¬C(a)} inconsistent — via the
+            // scratch-assertion instance check, not an ABox clone per
+            // (individual, atom) pair.
+            if reasoner.try_is_instance(abox, ind, &Concept::atom(c))? {
                 set.insert(c);
             }
         }
@@ -342,9 +342,7 @@ pub fn realize_parallel_governed_indexed(
             meter.fault_point("dl.realize.individual")?;
             let mut set = BTreeSet::new();
             for &c in atoms_ref {
-                let mut extended = abox.clone();
-                extended.assert_concept(ind, Concept::not(Concept::atom(c)));
-                if !reasoner.consistent_metered(&extended, meter)? {
+                if reasoner.instance_metered(abox, ind, &Concept::atom(c), meter)? {
                     set.insert(c);
                 }
             }
@@ -450,9 +448,7 @@ fn realize_metered(
         meter.fault_point("dl.realize.individual")?;
         let mut set = BTreeSet::new();
         for &c in &atoms {
-            let mut extended = abox.clone();
-            extended.assert_concept(ind, Concept::not(Concept::atom(c)));
-            if !reasoner.consistent_metered(&extended, meter)? {
+            if reasoner.instance_metered(abox, ind, &Concept::atom(c), meter)? {
                 set.insert(c);
             }
         }

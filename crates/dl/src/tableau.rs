@@ -7,9 +7,22 @@
 //! restrictions), GCIs internalized as universal constraints added to
 //! every node, and **equality blocking** (a non-root node is blocked
 //! when some ancestor carries exactly the same label — sound for ALCQ
-//! without inverse roles). Nondeterminism (⊔, choose, merge) is
-//! explored by cloning the completion state; fine at the scale of this
-//! reproduction and kept deliberately simple.
+//! without inverse roles).
+//!
+//! Two engines explore the nondeterminism (⊔, choose, merge) over the
+//! *identical* search tree:
+//!
+//! * the **agenda/trail kernel** (`kernel` module, the default):
+//!   dirty-node scheduling for the deterministic rules, incremental
+//!   clash detection, and a choice-point trail that undoes label
+//!   insertions, node spawns, and merges on backtrack;
+//! * the **reference engine** ([`Tableau::expand_reference`], forced
+//!   by `SUMMA_TABLEAU_REFERENCE=1` or
+//!   [`Tableau::with_reference_kernel`]): re-scans every node each
+//!   round and clones the completion state per alternative — slower,
+//!   deliberately simple, and kept as the differential-testing oracle
+//!   (mirroring what `classify_brute_force_governed` is to the
+//!   enhanced classifier).
 //!
 //! ABox consistency treats named individuals as root nodes under the
 //! unique-name assumption.
@@ -27,9 +40,16 @@ use summa_guard::{Budget, Governed, Interrupt, Meter};
 /// Default node budget per satisfiability call.
 pub const DEFAULT_NODE_BUDGET: usize = 20_000;
 
+/// Observational counter: complete single-label traversals (clash
+/// scans, deterministic-rule scans, branch scans). Both engines emit
+/// it, so the tableau bench can show the agenda kernel doing strictly
+/// less scanning for the same search tree. Deliberately *outside* the
+/// `dl.rule.*` family: it is not a charged rule application.
+pub(crate) const LABEL_SCANS: &str = "dl.tableau.label_scans";
+
 /// Why the expansion loop stopped early: the reasoner's own node
 /// budget (legacy API), or the caller's [`Budget`] envelope.
-enum Stop {
+pub(crate) enum Stop {
     NodeBudget,
     Interrupted(Interrupt),
 }
@@ -38,6 +58,15 @@ impl From<Interrupt> for Stop {
     fn from(i: Interrupt) -> Self {
         Stop::Interrupted(i)
     }
+}
+
+/// Engine selection default: `SUMMA_TABLEAU_REFERENCE=1` forces every
+/// newly constructed reasoner onto the reference engine (the same
+/// escape-hatch idiom as `SUMMA_SERVE_COLD`). Tests and benches that
+/// compare engines pin the choice per-instance with
+/// [`Tableau::with_reference_kernel`] instead.
+fn reference_kernel_default() -> bool {
+    std::env::var("SUMMA_TABLEAU_REFERENCE").map(|v| v == "1").unwrap_or(false)
 }
 
 /// Lift a metered result into a [`Governed`] outcome (boolean queries
@@ -63,15 +92,21 @@ fn governed_outcome<T>(r: std::result::Result<T, Interrupt>) -> Governed<T> {
 #[derive(Debug, Clone)]
 pub struct Tableau {
     /// Hash-consing arena all handles below point into.
-    interner: Interner,
+    pub(crate) interner: Interner,
     /// Universal constraints: internalized GCIs in NNF (only those not
     /// absorbed below).
-    universal: Vec<ConceptRef>,
+    pub(crate) universal: Vec<ConceptRef>,
     /// Absorbed axioms `A ⊑ C`: applied lazily when the atom `A`
     /// appears in a node label (the standard absorption optimization —
     /// sound and complete, and avoids one disjunction per GCI per
     /// node).
-    absorbed: BTreeMap<crate::concept::ConceptId, Vec<ConceptRef>>,
+    pub(crate) absorbed: BTreeMap<crate::concept::ConceptId, Vec<ConceptRef>>,
+    /// Run the pre-overhaul clone-per-disjunct engine
+    /// ([`Tableau::expand_reference`]) instead of the agenda/trail
+    /// kernel. Both walk the identical search tree with identical
+    /// charges, so the switch trades speed, never answers. Defaults
+    /// from the `SUMMA_TABLEAU_REFERENCE=1` escape hatch.
+    use_reference: bool,
     /// Per-call node budget.
     budget: usize,
     /// Memoized satisfiability results keyed by the handle of the NNF
@@ -89,37 +124,77 @@ pub struct Tableau {
     intern_hits_reported: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Node {
-    label: BTreeSet<ConceptRef>,
-    /// Outgoing edges: (role, child index). Multiple edges to the same
-    /// child are allowed after merges.
-    edges: Vec<(RoleId, usize)>,
-    /// Parent index; `None` for root/ABox nodes (never blocked).
-    parent: Option<usize>,
-    /// Merged-away nodes are dead.
-    alive: bool,
+/// Sort a label buffer into structural order. This is the single
+/// sorting code path in the reasoner: [`State::add_node`] seeds the
+/// per-node cache through it, and [`State::insert_label`] maintains
+/// the cache by binary insertion against the same comparator — no
+/// rule scan re-sorts anything.
+pub(crate) fn sort_structural(it: &Interner, buf: &mut [ConceptRef]) {
+    buf.sort_by(|&a, &b| it.cmp_structural(a, b));
 }
 
-#[derive(Debug, Clone)]
-struct State {
-    nodes: Vec<Node>,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Node {
+    pub(crate) label: BTreeSet<ConceptRef>,
+    /// The label in *structural* order ([`Interner::cmp_structural`]),
+    /// maintained incrementally on insert. Rule scans read this cache
+    /// instead of re-collecting and re-sorting the set every round.
+    pub(crate) sorted: Vec<ConceptRef>,
+    /// Outgoing edges: (role, child index). Multiple edges to the same
+    /// child are allowed after merges.
+    pub(crate) edges: Vec<(RoleId, usize)>,
+    /// Parent index; `None` for root/ABox nodes (never blocked).
+    pub(crate) parent: Option<usize>,
+    /// Merged-away nodes are dead.
+    pub(crate) alive: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct State {
+    pub(crate) nodes: Vec<Node>,
     /// Pairs of node ids asserted pairwise-distinct (from ≥-rules and
     /// the unique-name assumption on ABox individuals).
-    distinct: BTreeSet<(usize, usize)>,
+    pub(crate) distinct: BTreeSet<(usize, usize)>,
+}
+
+/// Everything needed to reverse a [`State::merge`]: the trail kernel
+/// undoes merges from this record instead of cloning states (the
+/// reference engine drops it).
+#[derive(Debug)]
+pub(crate) struct MergeUndo {
+    pub(crate) a: usize,
+    pub(crate) b: usize,
+    /// Labels newly added to `a` (present in `b`, absent from `a`).
+    pub(crate) added: Vec<ConceptRef>,
+    /// `a.edges` length before `b`'s edges were appended.
+    pub(crate) a_edges_len: usize,
+    /// `b`'s pristine edge list (moved out before rewiring).
+    pub(crate) b_edges: Vec<(RoleId, usize)>,
+    /// Edge slots rewired `b → a`: (node, edge index).
+    pub(crate) rewired: Vec<(usize, usize)>,
+    /// Distinct pairs newly inserted by the transfer.
+    pub(crate) distinct_added: Vec<(usize, usize)>,
 }
 
 impl State {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         State {
             nodes: vec![],
             distinct: BTreeSet::new(),
         }
     }
 
-    fn add_node(&mut self, label: BTreeSet<ConceptRef>, parent: Option<usize>) -> usize {
+    pub(crate) fn add_node(
+        &mut self,
+        label: BTreeSet<ConceptRef>,
+        parent: Option<usize>,
+        it: &Interner,
+    ) -> usize {
+        let mut sorted: Vec<ConceptRef> = label.iter().copied().collect();
+        sort_structural(it, &mut sorted);
         self.nodes.push(Node {
             label,
+            sorted,
             edges: vec![],
             parent,
             alive: true,
@@ -127,18 +202,48 @@ impl State {
         self.nodes.len() - 1
     }
 
-    fn mark_distinct(&mut self, a: usize, b: usize) {
-        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        self.distinct.insert((lo, hi));
+    /// Insert `c` into `x`'s label, keeping the sorted cache in sync.
+    /// Returns whether the label actually grew.
+    pub(crate) fn insert_label(&mut self, x: usize, c: ConceptRef, it: &Interner) -> bool {
+        let node = &mut self.nodes[x];
+        if !node.label.insert(c) {
+            return false;
+        }
+        let pos = node
+            .sorted
+            .binary_search_by(|&p| it.cmp_structural(p, c))
+            .unwrap_err();
+        node.sorted.insert(pos, c);
+        true
     }
 
-    fn are_distinct(&self, a: usize, b: usize) -> bool {
+    /// Remove `c` from `x`'s label (trail undo only — expansion never
+    /// shrinks labels).
+    pub(crate) fn remove_label(&mut self, x: usize, c: ConceptRef, it: &Interner) {
+        let node = &mut self.nodes[x];
+        let removed = node.label.remove(&c);
+        debug_assert!(removed, "trail undo removed an absent label");
+        match node.sorted.binary_search_by(|&p| it.cmp_structural(p, c)) {
+            Ok(pos) => {
+                node.sorted.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "sorted cache out of sync with label set"),
+        }
+    }
+
+    /// Returns whether the pair was newly inserted.
+    pub(crate) fn mark_distinct(&mut self, a: usize, b: usize) -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.distinct.insert((lo, hi))
+    }
+
+    pub(crate) fn are_distinct(&self, a: usize, b: usize) -> bool {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         self.distinct.contains(&(lo, hi))
     }
 
     /// r-successors (alive) of node `x`.
-    fn successors(&self, x: usize, r: RoleId) -> Vec<usize> {
+    pub(crate) fn successors(&self, x: usize, r: RoleId) -> Vec<usize> {
         let mut out: Vec<usize> = self.nodes[x]
             .edges
             .iter()
@@ -150,8 +255,27 @@ impl State {
         out
     }
 
+    /// ≤n r.C clash at `x` for one restriction: more than n
+    /// pairwise-distinct r-successors containing C. Shared by the full
+    /// label scan below and the kernel's incremental delta checks.
+    pub(crate) fn atmost_clashes(&self, x: usize, n: u32, r: RoleId, cc: ConceptRef) -> bool {
+        let with_c: Vec<usize> = self
+            .successors(x, r)
+            .into_iter()
+            .filter(|&y| self.nodes[y].label.contains(&cc))
+            .collect();
+        if with_c.len() <= n as usize {
+            return false;
+        }
+        // clash only if no two of them are mergeable
+        with_c
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| with_c[i + 1..].iter().all(|&b| self.are_distinct(a, b)))
+    }
+
     /// Does the label of `x` directly clash?
-    fn has_clash(&self, x: usize, it: &Interner) -> bool {
+    pub(crate) fn has_clash(&self, x: usize, it: &Interner) -> bool {
         let l = &self.nodes[x].label;
         if l.contains(&it.bottom()) {
             return true;
@@ -161,23 +285,8 @@ impl State {
                 CNode::Not(inner) if l.contains(inner) => {
                     return true;
                 }
-                // ≤n r.C clash: more than n pairwise-distinct
-                // r-successors containing C.
-                CNode::AtMost(n, r, cc) => {
-                    let with_c: Vec<usize> = self
-                        .successors(x, *r)
-                        .into_iter()
-                        .filter(|&y| self.nodes[y].label.contains(cc))
-                        .collect();
-                    if with_c.len() > *n as usize {
-                        // clash only if no two of them are mergeable
-                        let all_distinct = with_c.iter().enumerate().all(|(i, &a)| {
-                            with_c[i + 1..].iter().all(|&b| self.are_distinct(a, b))
-                        });
-                        if all_distinct {
-                            return true;
-                        }
-                    }
+                CNode::AtMost(n, r, cc) if self.atmost_clashes(x, *n, *r, *cc) => {
+                    return true;
                 }
                 _ => {}
             }
@@ -187,7 +296,7 @@ impl State {
 
     /// Equality blocking: `x` is blocked when some strict ancestor has
     /// an identical label.
-    fn is_blocked(&self, x: usize) -> bool {
+    pub(crate) fn is_blocked(&self, x: usize) -> bool {
         let mut cur = self.nodes[x].parent;
         while let Some(a) = cur {
             if self.nodes[a].label == self.nodes[x].label {
@@ -199,18 +308,27 @@ impl State {
     }
 
     /// Merge node `b` into node `a` (siblings under the ≤-rule): union
-    /// labels, move edges, rewire incoming edges, kill `b`.
-    fn merge(&mut self, a: usize, b: usize) {
+    /// labels, move edges, rewire incoming edges, kill `b`. Returns the
+    /// record that [`State::undo_merge`] reverses exactly.
+    pub(crate) fn merge(&mut self, a: usize, b: usize, it: &Interner) -> MergeUndo {
         let blabel: Vec<ConceptRef> = self.nodes[b].label.iter().copied().collect();
-        self.nodes[a].label.extend(blabel);
-        let bedges = std::mem::take(&mut self.nodes[b].edges);
-        self.nodes[a].edges.extend(bedges);
+        let mut added = Vec::new();
+        for c in blabel {
+            if self.insert_label(a, c, it) {
+                added.push(c);
+            }
+        }
+        let a_edges_len = self.nodes[a].edges.len();
+        let b_edges = std::mem::take(&mut self.nodes[b].edges);
+        self.nodes[a].edges.extend(b_edges.iter().copied());
         self.nodes[b].alive = false;
         // Rewire incoming edges from any node to b → a.
-        for n in &mut self.nodes {
-            for e in &mut n.edges {
+        let mut rewired = Vec::new();
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            for (j, e) in n.edges.iter_mut().enumerate() {
                 if e.1 == b {
                     e.1 = a;
+                    rewired.push((i, j));
                 }
             }
         }
@@ -221,19 +339,60 @@ impl State {
             .filter(|&&(x, y)| x == b || y == b)
             .copied()
             .collect();
+        let mut distinct_added = Vec::new();
         for (x, y) in moved {
             let other = if x == b { y } else { x };
-            if other != a {
-                self.mark_distinct(a, other);
+            if other != a && self.mark_distinct(a, other) {
+                let (lo, hi) = if a < other { (a, other) } else { (other, a) };
+                distinct_added.push((lo, hi));
             }
+        }
+        MergeUndo {
+            a,
+            b,
+            added,
+            a_edges_len,
+            b_edges,
+            rewired,
+            distinct_added,
+        }
+    }
+
+    /// Reverse a [`State::merge`]. Sound only in LIFO trail order:
+    /// every operation recorded after the merge must already be
+    /// undone, so the recorded edge slots still address what the merge
+    /// rewired.
+    pub(crate) fn undo_merge(&mut self, u: MergeUndo, it: &Interner) {
+        for (i, j) in u.rewired {
+            self.nodes[i].edges[j].1 = u.b;
+        }
+        for pair in u.distinct_added {
+            self.distinct.remove(&pair);
+        }
+        self.nodes[u.a].edges.truncate(u.a_edges_len);
+        self.nodes[u.b].edges = u.b_edges;
+        self.nodes[u.b].alive = true;
+        for c in u.added {
+            self.remove_label(u.a, c, it);
         }
     }
 }
 
 /// Result of one rule-application search step.
-enum Outcome {
+pub(crate) enum Outcome {
     Satisfiable,
     Clash,
+}
+
+/// One alternative of the first applicable nondeterministic rule, as
+/// data: the reference engine materializes it by cloning the state,
+/// the trail kernel applies it in place and undoes it on backtrack.
+/// Both consume the same [`Tableau::find_branch`] output, so they
+/// cannot disagree on what the alternatives *are*.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Alt {
+    Insert { node: usize, c: ConceptRef },
+    Merge { a: usize, b: usize },
 }
 
 impl Tableau {
@@ -262,6 +421,7 @@ impl Tableau {
             interner,
             universal,
             absorbed,
+            use_reference: reference_kernel_default(),
             budget: DEFAULT_NODE_BUDGET,
             cache: FxHashMap::default(),
             shared: None,
@@ -289,6 +449,7 @@ impl Tableau {
             interner,
             universal,
             absorbed: BTreeMap::new(),
+            use_reference: reference_kernel_default(),
             budget: DEFAULT_NODE_BUDGET,
             cache: FxHashMap::default(),
             shared: None,
@@ -307,6 +468,20 @@ impl Tableau {
     pub fn with_budget(mut self, budget: usize) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Force an expansion engine explicitly, overriding the
+    /// `SUMMA_TABLEAU_REFERENCE` default: `true` pins the reference
+    /// clone-based engine, `false` the agenda/trail kernel. The
+    /// differential suite drives both sides through this switch.
+    pub fn with_reference_kernel(mut self, reference: bool) -> Self {
+        self.use_reference = reference;
+        self
+    }
+
+    /// Which engine this reasoner dispatches to (`true` = reference).
+    pub fn uses_reference_kernel(&self) -> bool {
+        self.use_reference
     }
 
     /// Attach a cross-reasoner [`SatCache`]: completed answers are
@@ -419,7 +594,7 @@ impl Tableau {
         let mut label: BTreeSet<ConceptRef> = BTreeSet::new();
         label.insert(nnf);
         label.extend(self.universal.iter().copied());
-        st.add_node(label, None);
+        st.add_node(label, None, &self.interner);
         let sat = matches!(
             self.expand(st, node_cap, &mut 0, meter)?,
             Outcome::Satisfiable
@@ -523,12 +698,28 @@ impl Tableau {
         node_cap: usize,
         meter: &mut Meter,
     ) -> std::result::Result<bool, Stop> {
+        self.consistent_inner_with(abox, None, node_cap, meter)
+    }
+
+    /// ABox consistency with an optional *scratch assertion*: one
+    /// extra `C(a)` pushed into `a`'s root label after the real
+    /// assertions. Labels are sets, so this lands in exactly the state
+    /// a cloned-and-extended ABox would produce — minus the clone of
+    /// every assertion tree, which instance checks used to pay per
+    /// call (realization makes |individuals| × |atoms| of them).
+    fn consistent_inner_with(
+        &mut self,
+        abox: &ABox,
+        scratch: Option<(crate::abox::Individual, ConceptRef)>,
+        node_cap: usize,
+        meter: &mut Meter,
+    ) -> std::result::Result<bool, Stop> {
         let mut st = State::new();
         let mut index: BTreeMap<u32, usize> = BTreeMap::new();
         for ind in abox.individuals() {
             let mut label: BTreeSet<ConceptRef> = BTreeSet::new();
             label.extend(self.universal.iter().copied());
-            let id = st.add_node(label, None);
+            let id = st.add_node(label, None, &self.interner);
             index.insert(ind.0, id);
         }
         // UNA: all named individuals pairwise distinct.
@@ -542,7 +733,11 @@ impl Tableau {
             let id = index[&ind.0];
             let h = self.interner.intern(c);
             let n = self.interner.nnf(h);
-            st.nodes[id].label.insert(n);
+            st.insert_label(id, n, &self.interner);
+        }
+        if let Some((ind, n)) = scratch {
+            let id = index[&ind.0];
+            st.insert_label(id, n, &self.interner);
         }
         for (a, r, b) in abox.role_assertions() {
             let (ia, ib) = (index[&a.0], index[&b.0]);
@@ -557,11 +752,56 @@ impl Tableau {
         Ok(consistent)
     }
 
+    /// The NNF of `¬c`, interned: the scratch assertion an instance
+    /// check adds to the tested individual's root label.
+    fn scratch_negation(&mut self, c: &Concept) -> ConceptRef {
+        let h = self.interner.intern(c);
+        self.interner.neg_nnf(h)
+    }
+
     /// Instance check: does the ABox entail `c(a)`?
+    ///
+    /// `KB ⊨ C(a)` iff `KB ∪ {¬C(a)}` is inconsistent — decided by a
+    /// borrow-based scratch assertion around the consistency check,
+    /// not by cloning the whole ABox per call.
     pub fn is_instance(&mut self, abox: &ABox, a: crate::abox::Individual, c: &Concept) -> bool {
-        let mut extended = abox.clone();
-        extended.assert_concept(a, Concept::not(c.clone()));
-        !self.is_consistent(&extended)
+        self.try_is_instance(abox, a, c)
+            .expect("node budget exceeded; raise with with_budget")
+    }
+
+    /// Fallible instance check (reports budget exhaustion).
+    pub fn try_is_instance(
+        &mut self,
+        abox: &ABox,
+        a: crate::abox::Individual,
+        c: &Concept,
+    ) -> Result<bool> {
+        let mut meter = Meter::unlimited();
+        let neg = self.scratch_negation(c);
+        match self.consistent_inner_with(abox, Some((a, neg)), self.budget, &mut meter) {
+            Ok(consistent) => Ok(!consistent),
+            Err(Stop::NodeBudget) => Err(DlError::NodeBudgetExceeded {
+                budget: self.budget,
+            }),
+            Err(Stop::Interrupted(_)) => unreachable!("unlimited meter interrupted"),
+        }
+    }
+
+    /// Metered instance check, for services sharing one [`Meter`]
+    /// (realization's inner loop).
+    pub fn instance_metered(
+        &mut self,
+        abox: &ABox,
+        a: crate::abox::Individual,
+        c: &Concept,
+        meter: &mut Meter,
+    ) -> std::result::Result<bool, Interrupt> {
+        let neg = self.scratch_negation(c);
+        match self.consistent_inner_with(abox, Some((a, neg)), usize::MAX, meter) {
+            Ok(consistent) => Ok(!consistent),
+            Err(Stop::Interrupted(i)) => Err(i),
+            Err(Stop::NodeBudget) => unreachable!("node cap disabled in metered mode"),
+        }
     }
 
     /// Budget-governed instance check.
@@ -572,12 +812,8 @@ impl Tableau {
         c: &Concept,
         budget: &Budget,
     ) -> Governed<bool> {
-        let mut extended = abox.clone();
-        extended.assert_concept(a, Concept::not(c.clone()));
         let mut meter = budget.meter();
-        let r = self
-            .consistent_metered(&extended, &mut meter)
-            .map(|consistent| !consistent);
+        let r = self.instance_metered(abox, a, c, &mut meter);
         governed_outcome(r)
     }
 
@@ -585,15 +821,36 @@ impl Tableau {
     // The expansion loop.
     // ------------------------------------------------------------------
 
-    /// Iterative depth-first search over completion states (explicit
-    /// stack, so deeply nested nondeterminism cannot overflow the call
-    /// stack).
+    /// Dispatch one satisfiability search to the configured engine.
+    /// Both visit the same search tree in the same order with the same
+    /// charges, so everything observable — answers, `Spend`, partial
+    /// results under starved budgets — is engine-independent.
+    pub(crate) fn expand(
+        &mut self,
+        st: State,
+        node_cap: usize,
+        created: &mut usize,
+        meter: &mut Meter,
+    ) -> std::result::Result<Outcome, Stop> {
+        if self.use_reference {
+            self.expand_reference(st, node_cap, created, meter)
+        } else {
+            self.expand_kernel(st, node_cap, created, meter)
+        }
+    }
+
+    /// The reference engine: iterative depth-first search over cloned
+    /// completion states (explicit stack, so deeply nested
+    /// nondeterminism cannot overflow the call stack). Every round
+    /// re-scans every node and every pop re-runs clash detection over
+    /// the whole state — the agenda/trail kernel exists to shed
+    /// exactly that work, and this engine stays as its oracle.
     ///
     /// `node_cap` is the legacy per-call node budget
     /// ([`Stop::NodeBudget`] when exceeded); `meter` is the caller's
     /// governance envelope, charged one step per search state popped,
     /// per rule application, and per node created.
-    fn expand(
+    pub(crate) fn expand_reference(
         &mut self,
         st: State,
         node_cap: usize,
@@ -610,9 +867,18 @@ impl Tableau {
             meter.count("dl.rule.search", 1);
             // Deterministic rules to fixpoint, abandoning on clash.
             loop {
-                if (0..st.nodes.len())
-                    .any(|x| st.nodes[x].alive && st.has_clash(x, &self.interner))
-                {
+                let mut clash = false;
+                for x in 0..st.nodes.len() {
+                    if !st.nodes[x].alive {
+                        continue;
+                    }
+                    meter.count(LABEL_SCANS, 1);
+                    if st.has_clash(x, &self.interner) {
+                        clash = true;
+                        break;
+                    }
+                }
+                if clash {
                     continue 'states;
                 }
                 if !self.apply_deterministic(&mut st, node_cap, created, meter)? {
@@ -620,7 +886,7 @@ impl Tableau {
                 }
             }
             // Nondeterministic rules: push every alternative.
-            match self.branch_alternatives(&st) {
+            match self.branch_alternatives(&st, meter) {
                 Some(alts) => {
                     // All alternatives clash-free so far; explore each.
                     stack.extend(alts);
@@ -655,17 +921,20 @@ impl Tableau {
             // condition and the node budgets were tuned against. The
             // structural order is also interner-independent, so
             // sibling workers with different interning histories walk
-            // identical search trees.
-            let mut label: Vec<ConceptRef> = st.nodes[x].label.iter().copied().collect();
-            label.sort_by(|&a, &b| self.interner.cmp_structural(a, b));
-            for &c in &label {
+            // identical search trees. The node carries its label
+            // pre-sorted (`Node::sorted`, maintained by
+            // `State::insert_label`); index iteration is safe because
+            // every mutating arm returns immediately.
+            meter.count(LABEL_SCANS, 1);
+            for i in 0..st.nodes[x].sorted.len() {
+                let c = st.nodes[x].sorted[i];
                 match self.interner.node(c) {
                     // absorption: A ∈ L(x) with A ⊑ C absorbed → add C
                     CNode::Atom(a) => {
                         if let Some(rhss) = self.absorbed.get(a) {
                             let mut changed = false;
                             for &rhs in rhss {
-                                changed |= st.nodes[x].label.insert(rhs);
+                                changed |= st.insert_label(x, rhs, &self.interner);
                             }
                             if changed {
                                 return Ok(true);
@@ -676,7 +945,7 @@ impl Tableau {
                     CNode::And(parts) => {
                         let mut changed = false;
                         for &p in parts.iter() {
-                            changed |= st.nodes[x].label.insert(p);
+                            changed |= st.insert_label(x, p, &self.interner);
                         }
                         if changed {
                             return Ok(true);
@@ -686,7 +955,7 @@ impl Tableau {
                     CNode::Forall(r, d) => {
                         let (r, d) = (*r, *d);
                         for y in st.successors(x, r) {
-                            if st.nodes[y].label.insert(d) {
+                            if st.insert_label(y, d, &self.interner) {
                                 return Ok(true);
                             }
                         }
@@ -764,7 +1033,7 @@ impl Tableau {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn spawn_child(
+    pub(crate) fn spawn_child(
         &self,
         st: &mut State,
         x: usize,
@@ -794,15 +1063,21 @@ impl Tableau {
             })
             .collect();
         label.extend(foralls);
-        let id = st.add_node(label, Some(x));
+        let id = st.add_node(label, Some(x), &self.interner);
         st.nodes[x].edges.push((r, id));
         Ok(id)
     }
 
     /// Find the first applicable nondeterministic rule and return the
-    /// alternative successor states it generates. `None` means no rule
-    /// applies (the state is complete).
-    fn branch_alternatives(&mut self, st: &State) -> Option<Vec<State>> {
+    /// alternatives it generates as [`Alt`] descriptors. `None` means
+    /// no rule applies (the state is complete).
+    ///
+    /// Both engines branch through this one function: the reference
+    /// engine materializes each `Alt` into a cloned `State`, the
+    /// kernel replays them against a single state via the trail. One
+    /// decision procedure, two execution strategies — which is what
+    /// makes their search trees identical by construction.
+    pub(crate) fn find_branch(&mut self, st: &State, meter: &Meter) -> Option<Vec<Alt>> {
         for x in 0..st.nodes.len() {
             if !st.nodes[x].alive {
                 continue;
@@ -814,24 +1089,23 @@ impl Tableau {
             // condition and the node budgets were tuned against. The
             // structural order is also interner-independent, so
             // sibling workers with different interning histories walk
-            // identical search trees.
-            let mut label: Vec<ConceptRef> = st.nodes[x].label.iter().copied().collect();
-            label.sort_by(|&a, &b| self.interner.cmp_structural(a, b));
-            for &c in &label {
+            // identical search trees. The node carries its label
+            // pre-sorted (`Node::sorted`), so branching no longer
+            // re-sorts anything.
+            meter.count(LABEL_SCANS, 1);
+            for i in 0..st.nodes[x].sorted.len() {
+                let c = st.nodes[x].sorted[i];
                 // ⊔-rule
                 if let CNode::Or(parts) = self.interner.node(c) {
                     if parts.iter().any(|p| st.nodes[x].label.contains(p)) {
                         continue;
                     }
-                    let alts = parts
-                        .iter()
-                        .map(|&p| {
-                            let mut st2 = st.clone();
-                            st2.nodes[x].label.insert(p);
-                            st2
-                        })
-                        .collect();
-                    return Some(alts);
+                    return Some(
+                        parts
+                            .iter()
+                            .map(|&p| Alt::Insert { node: x, c: p })
+                            .collect(),
+                    );
                 }
                 // choose-rule: for ≤n r.D, every r-successor must
                 // decide D vs ¬D. Copy the fields out so the arena
@@ -844,15 +1118,10 @@ impl Tableau {
                 let neg = self.interner.neg_nnf(d);
                 for y in st.successors(x, r) {
                     if !st.nodes[y].label.contains(&d) && !st.nodes[y].label.contains(&neg) {
-                        let alts = [d, neg]
-                            .into_iter()
-                            .map(|choice| {
-                                let mut st2 = st.clone();
-                                st2.nodes[y].label.insert(choice);
-                                st2
-                            })
-                            .collect();
-                        return Some(alts);
+                        return Some(vec![
+                            Alt::Insert { node: y, c: d },
+                            Alt::Insert { node: y, c: neg },
+                        ]);
                     }
                 }
             }
@@ -863,17 +1132,9 @@ impl Tableau {
             if !st.nodes[x].alive {
                 continue;
             }
-            // Scan the label in *structural* order, not handle order:
-            // rule priority (absorption/⊓ before ⊔ before ∃/∀ before
-            // counting rules) falls out of `Concept`'s variant order,
-            // and the search tree this induces is what the blocking
-            // condition and the node budgets were tuned against. The
-            // structural order is also interner-independent, so
-            // sibling workers with different interning histories walk
-            // identical search trees.
-            let mut label: Vec<ConceptRef> = st.nodes[x].label.iter().copied().collect();
-            label.sort_by(|&a, &b| self.interner.cmp_structural(a, b));
-            for &c in &label {
+            meter.count(LABEL_SCANS, 1);
+            for i in 0..st.nodes[x].sorted.len() {
+                let c = st.nodes[x].sorted[i];
                 if let CNode::AtMost(n, r, d) = self.interner.node(c) {
                     let with_d: Vec<usize> = st
                         .successors(x, *r)
@@ -882,14 +1143,12 @@ impl Tableau {
                         .collect();
                     if with_d.len() > *n as usize {
                         let mut alts = vec![];
-                        for (i, &a) in with_d.iter().enumerate() {
-                            for &b in &with_d[i + 1..] {
+                        for (j, &a) in with_d.iter().enumerate() {
+                            for &b in &with_d[j + 1..] {
                                 if st.are_distinct(a, b) {
                                     continue;
                                 }
-                                let mut st2 = st.clone();
-                                st2.merge(a, b);
-                                alts.push(st2);
+                                alts.push(Alt::Merge { a, b });
                             }
                         }
                         if !alts.is_empty() {
@@ -902,6 +1161,29 @@ impl Tableau {
             }
         }
         None
+    }
+
+    /// Reference-engine branching: materialize each [`Alt`] from
+    /// [`Tableau::find_branch`] into a full `State` clone.
+    fn branch_alternatives(&mut self, st: &State, meter: &Meter) -> Option<Vec<State>> {
+        let alts = self.find_branch(st, meter)?;
+        let it = &self.interner;
+        Some(
+            alts.into_iter()
+                .map(|alt| {
+                    let mut st2 = st.clone();
+                    match alt {
+                        Alt::Insert { node, c } => {
+                            st2.insert_label(node, c, it);
+                        }
+                        Alt::Merge { a, b } => {
+                            let _ = st2.merge(a, b, it);
+                        }
+                    }
+                    st2
+                })
+                .collect(),
+        )
     }
 }
 

@@ -53,6 +53,22 @@ cargo run -q -p summa-obs --example validate_json -- \
     BENCH_classify.json bench generated_at workloads
 echo "    BENCH_classify.json: valid"
 
+# Kernel lane: the tableau differential suite runs in the main sweeps
+# with the agenda/trail kernel as default; re-run it with the reference
+# clone-per-disjunct engine forced process-wide (the suite pins both
+# engines per test, so this proves the env gate itself is wired
+# through), then smoke the engine-vs-engine bench — it asserts verdict
+# and states-popped identity plus strictly fewer kernel label scans on
+# every lane — and gate the report format.
+echo "==> kernel lane: SUMMA_TABLEAU_REFERENCE=1 differential suite"
+SUMMA_TABLEAU_REFERENCE=1 SUMMA_THREADS=4 \
+    cargo test -q -p summa-core --test integration_tableau_kernel
+echo "==> SUMMA_BENCH_SMOKE=1 cargo bench --bench tableau"
+SUMMA_BENCH_SMOKE=1 cargo bench --bench tableau
+cargo run -q -p summa-obs --example validate_json -- \
+    BENCH_tableau.json bench generated_at workloads
+echo "    BENCH_tableau.json: valid"
+
 # Serving soak lane: N concurrent tenants against the batched reasoning
 # server — zero dropped requests, bounded queue depth, typed overload
 # rejections, and a drain-under-load whose accounting reconciles
